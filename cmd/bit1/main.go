@@ -1,0 +1,122 @@
+// Command bit1 runs one simulated BIT1 job on a chosen machine model and
+// prints the Darshan-derived I/O summary — the quickest way to compare
+// the original and openPMD output paths.
+//
+//	bit1 -machine dardel -nodes 10 -mode original
+//	bit1 -machine dardel -nodes 10 -mode openpmd -aggregators 10 -compressor blosc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"picmcio/internal/bit1"
+	"picmcio/internal/cluster"
+	"picmcio/internal/compress"
+	"picmcio/internal/darshan"
+	"picmcio/internal/mpisim"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+	"picmcio/internal/units"
+	"picmcio/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "dardel", "machine model: discoverer|dardel|vega")
+	nodes := flag.Int("nodes", 1, "node allocation")
+	ranksPerNode := flag.Int("ranks-per-node", 128, "MPI ranks per node")
+	mode := flag.String("mode", "openpmd", "I/O path: original|openpmd")
+	aggregators := flag.Int("aggregators", 0, "BP4 aggregator count (0 = one per node)")
+	compressor := flag.String("compressor", "", "compression operator: blosc|bzip2")
+	deckPath := flag.String("input", "", "BIT1 input deck file (key = value)")
+	diagEpochs := flag.Int("diag-epochs", 5, "diagnostic epochs to simulate")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var m cluster.Machine
+	switch strings.ToLower(*machine) {
+	case "discoverer":
+		m = cluster.Discoverer()
+	case "dardel":
+		m = cluster.Dardel()
+	case "vega":
+		m = cluster.Vega()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	deck := bit1.DefaultDeck()
+	deck.MVStep = 100
+	deck.LastStep = *diagEpochs * 100
+	deck.DMPStep = deck.LastStep
+	if *deckPath != "" {
+		src, err := os.ReadFile(*deckPath)
+		if err != nil {
+			fatal(err)
+		}
+		if deck, err = bit1.ParseDeck(string(src)); err != nil {
+			fatal(err)
+		}
+	}
+
+	ioMode := bit1.IOOpenPMD
+	if strings.ToLower(*mode) == "original" {
+		ioMode = bit1.IOOriginal
+	}
+	numAgg := *aggregators
+	if numAgg == 0 {
+		numAgg = *nodes
+	}
+	var toml strings.Builder
+	fmt.Fprintf(&toml, "[adios2.engine.parameters]\nNumAggregators = \"%d\"\n", numAgg)
+	if *compressor != "" {
+		c, err := compress.New(*compressor, 8)
+		if err != nil {
+			fatal(err)
+		}
+		ratio := compress.Ratio(c, workload.Float64sToBytes(workload.SamplePayload(1<<15, *seed)))
+		fmt.Fprintf(&toml, "SimCompressionRatio = \"%.4f\"\n\n[adios2.dataset.operators]\ntype = %q\n", ratio, *compressor)
+	}
+
+	k := sim.NewKernel()
+	sys, err := m.Build(k, *nodes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	ranks := *nodes * *ranksPerNode
+	w := mpisim.NewWorld(k, ranks, mpisim.AlphaBeta(m.NetAlpha, m.NetBeta))
+	col := darshan.NewCollector()
+	cfg := bit1.Config{
+		Deck: deck, Sizing: workload.Default(), OutDir: "/scratch/bit1",
+		Mode: ioMode, OpenPMDOptions: toml.String(),
+		StdioOverhead: sim.Duration(m.StdioWriteOverhead),
+	}
+	var runErr error
+	w.Run(func(r *mpisim.Rank) {
+		node := r.ID / *ranksPerNode
+		if node >= len(sys.Clients) {
+			node = len(sys.Clients) - 1
+		}
+		env := &posix.Env{FS: sys.FS, Client: sys.Clients[node], Rank: r.ID, Monitor: col}
+		if err := bit1.Run(cfg, bit1.RankEnv{Rank: r, Env: env}); err != nil && runErr == nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		fatal(runErr)
+	}
+	log := col.Snapshot(darshan.JobMeta{
+		Executable: "bit1 (" + ioMode.String() + ")", NProcs: ranks,
+		Machine: m.Name, RunSeconds: float64(k.Now()),
+	})
+	fmt.Printf("machine=%s nodes=%d ranks=%d mode=%s\n", m.Name, *nodes, ranks, ioMode)
+	fmt.Printf("virtual elapsed: %s\n", units.Seconds(float64(k.Now())))
+	fmt.Print(log.Report())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bit1:", err)
+	os.Exit(1)
+}

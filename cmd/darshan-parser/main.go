@@ -1,0 +1,40 @@
+// Command darshan-parser reads a darshan-sim log (gzip-compressed JSON,
+// as written by Log.Encode) from a real host file and prints the same
+// summary report the experiments use, mirroring `darshan-parser --total`.
+//
+//	darshan-parser run.darshan.gz
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"picmcio/internal/darshan"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: darshan-parser <log-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	log, err := darshan.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(log.Report())
+	fmt.Println("\nper-file summary:")
+	for _, s := range log.FileSummaries() {
+		fmt.Printf("  %-48s wrote=%-10d read=%-10d writers=%d\n",
+			s.Path, s.BytesWritten, s.BytesRead, s.Writers)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "darshan-parser:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate. Each artifact prints as a text series or table;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -run fig2            # one artifact
+//	experiments -run all             # everything (minutes)
+//	experiments -run fig6 -nodes 200 # with explicit scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"picmcio/internal/experiments"
+	"picmcio/internal/units"
+)
+
+func main() {
+	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,tab1,tab2,lst1,all")
+	nodes := flag.Int("nodes", 200, "node count for fixed-scale artifacts (fig5, fig6, fig8, fig9)")
+	nodeList := flag.String("node-list", "", "comma-separated node counts for scaling artifacts (default: paper set)")
+	ranksPerNode := flag.Int("ranks-per-node", 128, "MPI ranks per node")
+	diagEpochs := flag.Int("diag-epochs", 5, "simulated diagnostic epochs (paper run: 200)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	o := experiments.Options{
+		Seed:         *seed,
+		RanksPerNode: *ranksPerNode,
+		DiagEpochs:   *diagEpochs,
+	}
+	if *nodeList != "" {
+		for _, part := range strings.Split(*nodeList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(err)
+			}
+			o.NodeCounts = append(o.NodeCounts, n)
+		}
+	}
+	o = o.WithDefaults()
+
+	artifacts := strings.Split(*runWhat, ",")
+	if *runWhat == "all" {
+		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tab1", "tab2", "lst1"}
+	}
+	for _, a := range artifacts {
+		if err := runArtifact(strings.TrimSpace(a), o, *nodes); err != nil {
+			fatal(fmt.Errorf("%s: %w", a, err))
+		}
+	}
+}
+
+func runArtifact(name string, o experiments.Options, nodes int) error {
+	switch name {
+	case "fig2":
+		ss, err := o.Fig2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSeries("Fig 2: BIT1 original file I/O write throughput (GiB/s)", "nodes", ss))
+	case "fig3":
+		ss, err := o.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSeries("Fig 3: original vs openPMD+BP4 on Dardel (GiB/s)", "nodes", ss))
+	case "fig4":
+		ss, err := o.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSeries("Fig 4: BIT1 vs IOR on Dardel (GiB/s)", "nodes", ss))
+	case "fig5":
+		r, err := o.Fig5(nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Fig 5: avg I/O cost per process on Dardel, %d nodes (full-run equivalent)\n", nodes)
+		fmt.Printf("%-24s  %-12s %-12s %-12s\n", "configuration", "read", "metadata", "write")
+		fmt.Printf("%-24s  %-12s %-12s %-12s\n", "BIT1 Original I/O",
+			units.Seconds(r.Original.ReadSec), units.Seconds(r.Original.MetaSec), units.Seconds(r.Original.WriteSec))
+		fmt.Printf("%-24s  %-12s %-12s %-12s\n", "BIT1 openPMD + BP4",
+			units.Seconds(r.OpenPMD.ReadSec), units.Seconds(r.OpenPMD.MetaSec), units.Seconds(r.OpenPMD.WriteSec))
+		if r.Original.MetaSec > 0 {
+			fmt.Printf("metadata reduction: %.2f%%\n", 100*(1-r.OpenPMD.MetaSec/r.Original.MetaSec))
+		}
+		if r.Original.WriteSec > 0 {
+			fmt.Printf("write reduction:    %.2f%%\n\n", 100*(1-r.OpenPMD.WriteSec/r.Original.WriteSec))
+		}
+	case "fig6":
+		s, err := o.Fig6(nodes, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSeries(
+			fmt.Sprintf("Fig 6: aggregator sweep on Dardel, %d nodes (GiB/s)", nodes), "aggregators", []experiments.Series{s}))
+	case "fig7":
+		ss, err := o.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSeries("Fig 7: Blosc + 1 AGGR vs original on Dardel (GiB/s)", "nodes", ss))
+	case "fig8":
+		r, err := o.Fig8(nodes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# Fig 8: BP4 memcpy time from profiling.json, %d nodes\n", nodes)
+		fmt.Printf("without compression: %.1f µs total memcpy\n", r.MemcpyMicrosNoComp)
+		fmt.Printf("with Blosc:          %.1f µs total memcpy (compress: %.1f µs)\n\n",
+			r.MemcpyMicrosBlosc, r.CompressMicrosBlosc)
+	case "fig9":
+		t, err := o.Fig9(nodes, nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+	case "tab1":
+		fmt.Println(experiments.Tab1().Render())
+	case "tab2":
+		t, err := o.Tab2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+	case "lst1":
+		out, err := experiments.Listing1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("# Listing 1: lfs getstripe on simulated Dardel")
+		fmt.Println("$ lfs getstripe io_openPMD/dat_file.bp4/data.0")
+		fmt.Println(out)
+	default:
+		return fmt.Errorf("unknown artifact %q", name)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

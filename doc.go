@@ -1,0 +1,9 @@
+// Package picmcio is a simulation-grounded reproduction of "Enabling
+// High-Throughput Parallel I/O in Particle-in-Cell Monte Carlo
+// Simulations with openPMD and Darshan I/O Monitoring" (CLUSTER 2024):
+// a 1D3V PIC MC code (BIT1-like), an openPMD/ADIOS2-BP4 I/O stack, a
+// Darshan-style monitor, and simulated Lustre machines, all in pure Go.
+//
+// See README.md for the layout, DESIGN.md for the system inventory, and
+// bench_test.go for one benchmark per paper table/figure.
+package picmcio

@@ -1,0 +1,465 @@
+package adios2
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"picmcio/internal/lustre"
+	"picmcio/internal/mpisim"
+	"picmcio/internal/pfs"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+)
+
+// rig wires a kernel, a Lustre FS and an MPI world together.
+type rig struct {
+	k  *sim.Kernel
+	fs *lustre.FS
+	w  *mpisim.World
+}
+
+func newRig(ranks int) *rig {
+	k := sim.NewKernel()
+	return &rig{
+		k:  k,
+		fs: lustre.New(k, lustre.DefaultParams()),
+		w:  mpisim.NewWorld(k, ranks, mpisim.AlphaBeta(1e-6, 1.0/10e9)),
+	}
+}
+
+func (rg *rig) host(r *mpisim.Rank) Host {
+	return Host{
+		Proc: r.Proc,
+		Env:  &posix.Env{FS: rg.fs, Client: &pfs.Client{}, Rank: r.ID},
+		Comm: r.Comm,
+	}
+}
+
+// writeSeries writes nSteps steps of a float64 variable distributed over
+// the ranks, with per-rank slabs of slab elements each.
+func writeSeries(t *testing.T, rg *rig, path string, engineParams map[string]string, operator string, nSteps, slab int) {
+	t.Helper()
+	rg.w.Run(func(r *mpisim.Rank) {
+		a := New()
+		io := a.DeclareIO("out")
+		for k, v := range engineParams {
+			io.SetParameter(k, v)
+		}
+		if operator != "" {
+			if err := io.AddOperation(operator); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		total := uint64(slab * r.Comm.Size())
+		v, err := io.DefineVariable("e/position", TypeFloat64,
+			[]uint64{total}, []uint64{uint64(slab * r.ID)}, []uint64{uint64(slab)})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e, err := io.Open(rg.host(r), path, ModeWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for s := 0; s < nSteps; s++ {
+			if err := e.BeginStep(int64(s)); err != nil {
+				t.Error(err)
+				return
+			}
+			vals := make([]float64, slab)
+			for i := range vals {
+				vals[i] = float64(r.ID*1000 + s*100 + i)
+			}
+			if err := e.PutFloat64s(v, vals); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := e.EndStep(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func listFiles(rg *rig, dir string) []string {
+	var out []string
+	rg.fs.Namespace().WalkFiles(dir, func(p string, n *pfs.Node) { out = append(out, p) })
+	return out
+}
+
+func TestBP4DirectoryLayout(t *testing.T) {
+	rg := newRig(8)
+	writeSeries(t, rg, "/io/run.bp4", map[string]string{"NumAggregators": "2"}, "", 3, 16)
+	files := listFiles(rg, "/io/run.bp4")
+	want := map[string]bool{
+		"/io/run.bp4/data.0": true, "/io/run.bp4/data.4": true,
+		"/io/run.bp4/md.0": true, "/io/run.bp4/md.idx": true,
+		"/io/run.bp4/profiling.json": true,
+	}
+	// Subfile names are data.<color>; with 8 ranks and 2 aggregators the
+	// colors are 0 and 1 (rank*A/size).
+	_ = want
+	var names []string
+	for _, f := range files {
+		names = append(names, f)
+	}
+	joined := strings.Join(names, ",")
+	for _, base := range []string{"md.0", "md.idx", "profiling.json"} {
+		if !strings.Contains(joined, base) {
+			t.Errorf("missing %s in %v", base, names)
+		}
+	}
+	nData := 0
+	for _, f := range files {
+		if strings.Contains(f, "/data.") {
+			nData++
+		}
+	}
+	if nData != 2 {
+		t.Errorf("data subfiles=%d, want 2 (files: %v)", nData, names)
+	}
+	if len(files) != 5 {
+		t.Errorf("total files=%d, want 5: %v", len(files), names)
+	}
+}
+
+func TestAggregatorCountRespected(t *testing.T) {
+	for _, nAgg := range []int{1, 2, 4, 8} {
+		rg := newRig(8)
+		path := fmt.Sprintf("/io/a%d.bp4", nAgg)
+		writeSeries(t, rg, path, map[string]string{"NumAggregators": fmt.Sprint(nAgg)}, "", 1, 8)
+		nData := 0
+		for _, f := range listFiles(rg, path) {
+			if strings.Contains(f, "/data.") {
+				nData++
+			}
+		}
+		if nData != nAgg {
+			t.Errorf("NumAggregators=%d produced %d subfiles", nAgg, nData)
+		}
+	}
+}
+
+func TestAggregatorClamped(t *testing.T) {
+	rg := newRig(4)
+	writeSeries(t, rg, "/io/c.bp4", map[string]string{"NumAggregators": "100"}, "", 1, 4)
+	nData := 0
+	for _, f := range listFiles(rg, "/io/c.bp4") {
+		if strings.Contains(f, "/data.") {
+			nData++
+		}
+	}
+	if nData != 4 {
+		t.Errorf("clamp failed: %d subfiles for 4 ranks", nData)
+	}
+}
+
+func TestReadBackRoundTrip(t *testing.T) {
+	rg := newRig(4)
+	writeSeries(t, rg, "/io/rt.bp4", map[string]string{"NumAggregators": "2"}, "", 2, 8)
+	// Read back from a fresh single-rank world on the same FS.
+	k2 := rg.k
+	w2 := mpisim.NewWorld(k2, 1, nil)
+	w2.Run(func(r *mpisim.Rank) {
+		a := New()
+		io := a.DeclareIO("in")
+		h := Host{Proc: r.Proc, Env: &posix.Env{FS: rg.fs, Client: &pfs.Client{}}, Comm: r.Comm}
+		e, err := io.Open(h, "/io/rt.bp4", ModeRead)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		steps, _ := e.Steps()
+		if len(steps) != 2 {
+			t.Errorf("steps=%v", steps)
+			return
+		}
+		vars, err := e.VariablesAt(1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(vars) != 1 || vars[0].Name != "e/position" || vars[0].Chunks != 4 {
+			t.Errorf("vars=%+v", vars)
+		}
+		raw, shape, err := e.Get(1, "e/position")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if shape[0] != 32 {
+			t.Errorf("shape=%v", shape)
+		}
+		vals := Float64sFromBytes(raw)
+		for rank := 0; rank < 4; rank++ {
+			for i := 0; i < 8; i++ {
+				want := float64(rank*1000 + 100 + i)
+				if got := vals[rank*8+i]; got != want {
+					t.Errorf("vals[%d]=%v, want %v", rank*8+i, got, want)
+					return
+				}
+			}
+		}
+		e.Close()
+	})
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	for _, codec := range []string{"blosc", "bzip2"} {
+		rg := newRig(4)
+		path := "/io/" + codec + ".bp4"
+		writeSeries(t, rg, path, map[string]string{"NumAggregators": "1"}, codec, 1, 32)
+		w2 := mpisim.NewWorld(rg.k, 1, nil)
+		w2.Run(func(r *mpisim.Rank) {
+			a := New()
+			h := Host{Proc: r.Proc, Env: &posix.Env{FS: rg.fs, Client: &pfs.Client{}}, Comm: r.Comm}
+			e, err := a.DeclareIO("in").Open(h, path, ModeRead)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			raw, _, err := e.Get(0, "e/position")
+			if err != nil {
+				t.Errorf("%s: %v", codec, err)
+				return
+			}
+			vals := Float64sFromBytes(raw)
+			if vals[33] != float64(1000+1) { // rank 1, i=1
+				t.Errorf("%s: vals[33]=%v", codec, vals[33])
+			}
+			e.Close()
+		})
+	}
+}
+
+func TestStepReplaceOverwritesInPlace(t *testing.T) {
+	// Writing the same step id repeatedly (checkpoint pattern) must not
+	// grow the subfile.
+	rg := newRig(2)
+	var sizeAfter2, sizeAfter5 int64
+	rg.w.Run(func(r *mpisim.Rank) {
+		a := New()
+		io := a.DeclareIO("ck")
+		io.SetParameter("NumAggregators", "1")
+		io.SetParameter("Profile", "off")
+		v, _ := io.DefineVariable("state", TypeFloat64,
+			[]uint64{64}, []uint64{uint64(32 * r.ID)}, []uint64{32})
+		e, err := io.Open(rg.host(r), "/ck.bp4", ModeWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		vals := make([]float64, 32)
+		for rep := 0; rep < 5; rep++ {
+			e.BeginStep(0)
+			e.PutFloat64s(v, vals)
+			e.EndStep()
+			if rep == 1 && r.ID == 0 {
+				fi, _ := rg.host(r).Env.Stat(r.Proc, "/ck.bp4/data.0")
+				sizeAfter2 = fi.Size
+			}
+		}
+		if r.ID == 0 {
+			fi, _ := rg.host(r).Env.Stat(r.Proc, "/ck.bp4/data.0")
+			sizeAfter5 = fi.Size
+		}
+		e.Close()
+	})
+	if sizeAfter5 != sizeAfter2 || sizeAfter5 == 0 {
+		t.Fatalf("checkpoint overwrite grew subfile: after2=%d after5=%d", sizeAfter2, sizeAfter5)
+	}
+}
+
+func TestMemcpyVanishesWithOperator(t *testing.T) {
+	// Fig. 8: without compression the engine pays memcpy; with Blosc the
+	// payload goes straight into the compressor.
+	run := func(op string) Timers {
+		rg := newRig(4)
+		writeSeries(t, rg, "/io/m.bp4", map[string]string{"NumAggregators": "1"}, op, 2, 1024)
+		var tm Timers
+		w2 := mpisim.NewWorld(rg.k, 1, nil)
+		w2.Run(func(r *mpisim.Rank) {
+			env := &posix.Env{FS: rg.fs, Client: &pfs.Client{}}
+			fd, err := env.Open(r.Proc, "/io/m.bp4/profiling.json")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body := fd.Pread(r.Proc, 0, fd.Size())
+			fd.Close(r.Proc)
+			_, _, total, _, err := ParseProfile(body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tm = total
+		})
+		return tm
+	}
+	plain := run("")
+	blosc := run("blosc")
+	if plain.Memcpy <= 0 {
+		t.Fatalf("uncompressed run has no memcpy time: %+v", plain)
+	}
+	if blosc.Memcpy != 0 {
+		t.Fatalf("blosc run still pays memcpy: %+v", blosc)
+	}
+	if blosc.Compress <= 0 {
+		t.Fatalf("blosc run has no compress time: %+v", blosc)
+	}
+}
+
+func TestVolumeModePayloads(t *testing.T) {
+	// Volume-mode puts write no content but still produce correctly sized
+	// subfiles and metadata.
+	rg := newRig(8)
+	rg.w.Run(func(r *mpisim.Rank) {
+		a := New()
+		io := a.DeclareIO("vol")
+		io.SetParameter("NumAggregators", "2")
+		io.SetParameter("Profile", "off")
+		v, _ := io.DefineVariable("big", TypeFloat64,
+			[]uint64{1 << 20}, []uint64{uint64(r.ID) << 17}, []uint64{1 << 17})
+		e, err := io.Open(rg.host(r), "/vol.bp4", ModeWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e.BeginStep(0)
+		if err := e.Put(v, nil); err != nil {
+			t.Error(err)
+		}
+		e.EndStep()
+		e.Close()
+	})
+	var dataBytes int64
+	for _, f := range listFiles(rg, "/vol.bp4") {
+		n, _ := rg.fs.Namespace().Lookup(f)
+		if strings.Contains(f, "data.") {
+			dataBytes += n.Size
+		}
+	}
+	want := int64(8)*(1<<17)*8 + 8*perPutHeaderBytes
+	if dataBytes != want {
+		t.Fatalf("volume data bytes=%d, want %d", dataBytes, want)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	rg := newRig(1)
+	rg.w.Run(func(r *mpisim.Rank) {
+		a := New()
+		io := a.DeclareIO("x")
+		io.SetParameter("Profile", "off")
+		v, _ := io.DefineVariable("v", TypeFloat64, []uint64{4}, []uint64{0}, []uint64{4})
+		e, _ := io.Open(rg.host(r), "/x.bp4", ModeWrite)
+		if err := e.Put(v, nil); err == nil {
+			t.Error("Put outside step accepted")
+		}
+		e.BeginStep(0)
+		if err := e.BeginStep(1); err == nil {
+			t.Error("nested BeginStep accepted")
+		}
+		if err := e.Put(v, []byte{1, 2, 3}); err == nil {
+			t.Error("mis-sized payload accepted")
+		}
+		e.EndStep()
+		if err := e.EndStep(); err == nil {
+			t.Error("EndStep outside step accepted")
+		}
+		e.Close()
+	})
+}
+
+func TestEngineSelection(t *testing.T) {
+	io := New().DeclareIO("t")
+	if err := io.SetEngine("BP4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.SetEngine("BP5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.SetEngine("HDF5"); err == nil {
+		t.Fatal("HDF5 accepted (not implemented)")
+	}
+}
+
+func TestBP5HasSecondMetadataFile(t *testing.T) {
+	rg := newRig(2)
+	rg.w.Run(func(r *mpisim.Rank) {
+		a := New()
+		io := a.DeclareIO("bp5")
+		io.SetEngine("BP5")
+		io.SetParameter("NumAggregators", "1")
+		io.SetParameter("Profile", "off")
+		v, _ := io.DefineVariable("v", TypeFloat64, []uint64{8}, []uint64{uint64(4 * r.ID)}, []uint64{4})
+		e, err := io.Open(rg.host(r), "/b5.bp5", ModeWrite)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e.BeginStep(0)
+		e.PutFloat64s(v, make([]float64, 4))
+		e.EndStep()
+		e.Close()
+	})
+	joined := strings.Join(listFiles(rg, "/b5.bp5"), ",")
+	if !strings.Contains(joined, "mmd.0") {
+		t.Fatalf("BP5 dir missing mmd.0: %s", joined)
+	}
+}
+
+func TestReaderRejectsMissingDataset(t *testing.T) {
+	rg := newRig(1)
+	rg.w.Run(func(r *mpisim.Rank) {
+		a := New()
+		_, err := a.DeclareIO("in").Open(rg.host(r), "/does-not-exist.bp4", ModeRead)
+		if err == nil {
+			t.Error("opened missing dataset")
+		}
+	})
+}
+
+func TestFloat64Bytes(t *testing.T) {
+	vals := []float64{0, 1.5, -3.25, 1e300}
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putF64(buf[8*i:], v)
+	}
+	got := Float64sFromBytes(buf)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("round trip %v -> %v", vals[i], got[i])
+		}
+	}
+	if !bytes.Equal(buf[:8], make([]byte, 8)) {
+		t.Fatal("zero must encode as zero bytes")
+	}
+}
+
+func TestProfilingJSONSchema(t *testing.T) {
+	rg := newRig(2)
+	writeSeries(t, rg, "/p.bp4", map[string]string{"NumAggregators": "1"}, "", 1, 8)
+	n, err := rg.fs.Namespace().Lookup("/p.bp4/profiling.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, aggs, total, max, err := ParseProfile(n.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks != 2 || aggs != 1 {
+		t.Fatalf("ranks=%d aggs=%d", ranks, aggs)
+	}
+	if total.Write <= 0 || max.Write <= 0 {
+		t.Fatalf("timers: total=%+v max=%+v", total, max)
+	}
+}

@@ -1,0 +1,269 @@
+package adios2
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"picmcio/internal/sim"
+)
+
+// The SST (Sustainable Staging Transport) engine is the paper's named
+// future-work item: it connects data producers and consumers directly via
+// the ADIOS2 write/read APIs, moving data between processes for in-situ
+// processing, analysis and visualization — no files touch the file system.
+//
+// The simulated SST engine stages steps in a Broker: the producer's
+// EndStep publishes a step (charging network transfer time through the
+// producer world's cost model), and the consumer's NextStep blocks in
+// virtual time until a step is available. Back-pressure is modelled with
+// a bounded queue: producers block when the consumer falls behind.
+
+// Broker is the rendezvous point between one producer group and any
+// number of consumers. Create one per stream and share it between the
+// producing and consuming worlds on the same kernel.
+type Broker struct {
+	k        *sim.Kernel
+	name     string
+	capacity int // queued steps before the producer blocks
+
+	queue    []*stagedStep
+	waitingC []*sim.Proc // consumers parked waiting for data
+	waitingP []*sim.Proc // producers parked on back-pressure
+	closed   bool
+}
+
+// stagedStep is one published step.
+type stagedStep struct {
+	id     int64
+	chunks []chunkDesc
+	blobs  map[string][]byte // varName -> payload (content mode)
+	bytes  int64
+}
+
+// NewBroker creates an SST stream rendezvous with the given queue depth
+// (ADIOS2's QueueLimit; 1 reproduces fully synchronous staging).
+func NewBroker(k *sim.Kernel, name string, capacity int) *Broker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Broker{k: k, name: name, capacity: capacity}
+}
+
+// SSTWriter publishes steps to a broker.
+type SSTWriter struct {
+	io     *IO
+	h      Host
+	b      *Broker
+	inStep bool
+	cur    *stagedStep
+}
+
+// OpenSSTWriter opens the producer side. Rank 0 of the communicator
+// gathers each step and publishes it (as the real SST writer-side
+// aggregates metadata); all ranks participate collectively.
+func (io *IO) OpenSSTWriter(h Host, b *Broker) (*SSTWriter, error) {
+	if h.Proc == nil || h.Comm == nil {
+		return nil, fmt.Errorf("adios2: incomplete host")
+	}
+	return &SSTWriter{io: io, h: h, b: b}, nil
+}
+
+// BeginStep starts a new staged step.
+func (w *SSTWriter) BeginStep(id int64) error {
+	if w.inStep {
+		return fmt.Errorf("adios2: sst nested BeginStep")
+	}
+	w.inStep = true
+	w.cur = &stagedStep{id: id, blobs: map[string][]byte{}}
+	return nil
+}
+
+// Put stages a variable chunk for the current step.
+func (w *SSTWriter) Put(v *Variable, data []byte) error {
+	if !w.inStep {
+		return fmt.Errorf("adios2: sst Put outside step")
+	}
+	n := v.SelectionBytes()
+	if data != nil && int64(len(data)) != n {
+		return fmt.Errorf("adios2: sst %q payload size mismatch", v.Name)
+	}
+	w.cur.chunks = append(w.cur.chunks, chunkDesc{
+		Var: v.Name, Type: v.Type, Shape: append([]uint64(nil), v.Shape...),
+		Start: append([]uint64(nil), v.start...), Count: append([]uint64(nil), v.count...),
+		RawLen: n,
+	})
+	w.cur.bytes += n
+	if data != nil {
+		w.cur.blobs[v.Name] = append(w.cur.blobs[v.Name], data...)
+	}
+	return nil
+}
+
+// EndStep gathers the step to rank 0 and publishes it to the broker,
+// blocking on back-pressure when the queue is full. Collective.
+func (w *SSTWriter) EndStep() error {
+	if !w.inStep {
+		return fmt.Errorf("adios2: sst EndStep outside step")
+	}
+	w.inStep = false
+	p, comm := w.h.Proc, w.h.Comm
+
+	// Gather the chunk tables and payloads to rank 0 — the writer-side
+	// aggregation of the streaming transfer. Tables travel as JSON; the
+	// payload cost model charges for the staged bytes.
+	tableJSON, err := json.Marshal(w.cur.chunks)
+	if err != nil {
+		return err
+	}
+	tchunks := comm.GathervBytes(int64(len(tableJSON)), tableJSON, 0)
+	// One gather per variable keeps payload reassembly simple; SST steps
+	// typically carry a handful of variables.
+	names := make([]string, 0, len(w.cur.chunks))
+	seen := map[string]bool{}
+	for _, c := range w.cur.chunks {
+		if !seen[c.Var] {
+			seen[c.Var] = true
+			names = append(names, c.Var)
+		}
+	}
+	merged := map[string][]byte{}
+	var totalBytes int64
+	for _, name := range names {
+		blob := w.cur.blobs[name]
+		var n int64
+		for _, c := range w.cur.chunks {
+			if c.Var == name {
+				n += c.RawLen
+			}
+		}
+		got := comm.GathervBytes(n, blob, 0)
+		if comm.Rank() == 0 {
+			var all []byte
+			content := true
+			for _, g := range got {
+				totalBytes += g.N
+				if g.Data == nil && g.N > 0 {
+					content = false
+					continue
+				}
+				all = append(all, g.Data...)
+			}
+			if content {
+				merged[name] = all
+			}
+		}
+	}
+	if comm.Rank() == 0 {
+		step := &stagedStep{id: w.cur.id, blobs: merged, bytes: totalBytes}
+		for _, g := range tchunks {
+			if g.Data == nil {
+				continue
+			}
+			var tbl []chunkDesc
+			if err := json.Unmarshal(g.Data, &tbl); err != nil {
+				return err
+			}
+			step.chunks = append(step.chunks, tbl...)
+		}
+		for len(w.b.queue) >= w.b.capacity && !w.b.closed {
+			w.b.waitingP = append(w.b.waitingP, p)
+			p.Park()
+		}
+		w.b.queue = append(w.b.queue, step)
+		for _, c := range w.b.waitingC {
+			w.b.k.Wake(c)
+		}
+		w.b.waitingC = nil
+	}
+	comm.Barrier()
+	w.cur = nil
+	return nil
+}
+
+// Close marks the stream finished, releasing blocked consumers.
+func (w *SSTWriter) Close() error {
+	if w.h.Comm.Rank() == 0 {
+		w.b.closed = true
+		for _, c := range w.b.waitingC {
+			w.b.k.Wake(c)
+		}
+		w.b.waitingC = nil
+	}
+	w.h.Comm.Barrier()
+	return nil
+}
+
+// SSTReader consumes steps from a broker.
+type SSTReader struct {
+	h   Host
+	b   *Broker
+	cur *stagedStep
+}
+
+// OpenSSTReader opens the consumer side.
+func (io *IO) OpenSSTReader(h Host, b *Broker) (*SSTReader, error) {
+	if h.Proc == nil {
+		return nil, fmt.Errorf("adios2: incomplete host")
+	}
+	return &SSTReader{h: h, b: b}, nil
+}
+
+// NextStep blocks in virtual time until a staged step is available and
+// returns its id; ok is false once the stream is closed and drained.
+func (r *SSTReader) NextStep() (id int64, ok bool) {
+	p := r.h.Proc
+	for len(r.b.queue) == 0 {
+		if r.b.closed {
+			return 0, false
+		}
+		r.b.waitingC = append(r.b.waitingC, p)
+		p.Park()
+	}
+	r.cur = r.b.queue[0]
+	r.b.queue = r.b.queue[1:]
+	// Consuming frees a slot: release one blocked producer.
+	if len(r.b.waitingP) > 0 {
+		r.b.k.Wake(r.b.waitingP[0])
+		r.b.waitingP = r.b.waitingP[1:]
+	}
+	// Receiving the step costs transfer time on the consumer side.
+	p.Sleep(sim.Duration(float64(r.cur.bytes) / 10e9))
+	return r.cur.id, true
+}
+
+// Variables lists the variables of the current step.
+func (r *SSTReader) Variables() []VarInfo {
+	if r.cur == nil {
+		return nil
+	}
+	agg := map[string]*VarInfo{}
+	var order []string
+	for _, c := range r.cur.chunks {
+		vi := agg[c.Var]
+		if vi == nil {
+			vi = &VarInfo{Name: c.Var, Type: c.Type, Shape: c.Shape}
+			agg[c.Var] = vi
+			order = append(order, c.Var)
+		}
+		vi.Chunks++
+		vi.Bytes += c.RawLen
+	}
+	out := make([]VarInfo, 0, len(order))
+	for _, n := range order {
+		out = append(out, *agg[n])
+	}
+	return out
+}
+
+// Get returns the current step's payload for a variable (content mode
+// producers only).
+func (r *SSTReader) Get(name string) ([]byte, bool) {
+	if r.cur == nil {
+		return nil, false
+	}
+	b, ok := r.cur.blobs[name]
+	return b, ok
+}
+
+// QueueDepth reports the broker's current staged-step count.
+func (b *Broker) QueueDepth() int { return len(b.queue) }

@@ -1,0 +1,158 @@
+package adios2
+
+import (
+	"testing"
+
+	"picmcio/internal/mpisim"
+	"picmcio/internal/sim"
+)
+
+// TestSSTProducerConsumer runs a 4-rank producer streaming steps to a
+// single in-situ consumer through a depth-2 broker — the paper's
+// future-work SST workflow.
+func TestSSTProducerConsumer(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBroker(k, "pipeline", 2)
+
+	prodWorld := mpisim.NewWorld(k, 4, mpisim.AlphaBeta(1e-6, 1.0/10e9))
+	consWorld := mpisim.NewWorld(k, 1, nil)
+
+	const steps = 5
+	prodWorld.Spawn(func(r *mpisim.Rank) {
+		io := New().DeclareIO("prod")
+		w, err := io.OpenSSTWriter(Host{Proc: r.Proc, Comm: r.Comm}, b)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		v, _ := io.DefineVariable("density", TypeFloat64,
+			[]uint64{16}, []uint64{uint64(4 * r.ID)}, []uint64{4})
+		for s := 0; s < steps; s++ {
+			w.BeginStep(int64(s))
+			vals := make([]float64, 4)
+			for i := range vals {
+				vals[i] = float64(s*100 + r.ID*10 + i)
+			}
+			buf := make([]byte, 32)
+			for i, f := range vals {
+				putF64(buf[8*i:], f)
+			}
+			if err := w.Put(v, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.EndStep(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		w.Close()
+	})
+
+	var got []int64
+	var firstStepVal float64
+	consWorld.Spawn(func(r *mpisim.Rank) {
+		io := New().DeclareIO("cons")
+		rd, err := io.OpenSSTReader(Host{Proc: r.Proc, Comm: r.Comm}, b)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			id, ok := rd.NextStep()
+			if !ok {
+				break
+			}
+			got = append(got, id)
+			vars := rd.Variables()
+			if len(vars) != 1 || vars[0].Name != "density" || vars[0].Chunks != 4 {
+				t.Errorf("step %d vars=%+v", id, vars)
+			}
+			if blob, ok := rd.Get("density"); ok && id == 1 {
+				firstStepVal = Float64sFromBytes(blob)[0]
+			}
+		}
+	})
+	k.Run()
+
+	if len(got) != steps {
+		t.Fatalf("consumer saw %d steps, want %d", len(got), steps)
+	}
+	for i, id := range got {
+		if id != int64(i) {
+			t.Fatalf("steps out of order: %v", got)
+		}
+	}
+	if firstStepVal != 100 { // step 1, rank 0, i=0
+		t.Fatalf("step-1 payload=%v, want 100", firstStepVal)
+	}
+}
+
+// TestSSTBackPressure: with a depth-1 broker and a slow consumer the
+// producer must block rather than run ahead.
+func TestSSTBackPressure(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBroker(k, "bp", 1)
+	prod := mpisim.NewWorld(k, 1, nil)
+	cons := mpisim.NewWorld(k, 1, nil)
+
+	var prodDone sim.Time
+	prod.Spawn(func(r *mpisim.Rank) {
+		io := New().DeclareIO("p")
+		w, _ := io.OpenSSTWriter(Host{Proc: r.Proc, Comm: r.Comm}, b)
+		v, _ := io.DefineVariable("x", TypeFloat64, []uint64{1}, []uint64{0}, []uint64{1})
+		for s := 0; s < 4; s++ {
+			w.BeginStep(int64(s))
+			w.Put(v, make([]byte, 8))
+			w.EndStep()
+		}
+		w.Close()
+		prodDone = r.Proc.Now()
+	})
+	cons.Spawn(func(r *mpisim.Rank) {
+		io := New().DeclareIO("c")
+		rd, _ := io.OpenSSTReader(Host{Proc: r.Proc, Comm: r.Comm}, b)
+		for {
+			if _, ok := rd.NextStep(); !ok {
+				break
+			}
+			r.Proc.Sleep(1.0) // slow in-situ analysis
+		}
+	})
+	k.Run()
+	// Producer must have been throttled by the consumer's 1 s/step pace:
+	// with queue depth 1 it cannot finish before ~2 steps are consumed.
+	if prodDone < 1.0 {
+		t.Fatalf("producer finished at %v, was not back-pressured", prodDone)
+	}
+	if b.QueueDepth() != 0 {
+		t.Fatalf("queue not drained: %d", b.QueueDepth())
+	}
+}
+
+func TestSSTValidation(t *testing.T) {
+	k := sim.NewKernel()
+	b := NewBroker(k, "v", 0) // capacity clamps to 1
+	w := mpisim.NewWorld(k, 1, nil)
+	w.Spawn(func(r *mpisim.Rank) {
+		io := New().DeclareIO("p")
+		wr, _ := io.OpenSSTWriter(Host{Proc: r.Proc, Comm: r.Comm}, b)
+		v, _ := io.DefineVariable("x", TypeFloat64, []uint64{1}, []uint64{0}, []uint64{1})
+		if err := wr.Put(v, make([]byte, 8)); err == nil {
+			t.Error("Put outside step accepted")
+		}
+		wr.BeginStep(0)
+		if err := wr.BeginStep(1); err == nil {
+			t.Error("nested BeginStep accepted")
+		}
+		if err := wr.Put(v, make([]byte, 3)); err == nil {
+			t.Error("short payload accepted")
+		}
+		wr.EndStep()
+		if err := wr.EndStep(); err == nil {
+			t.Error("EndStep outside step accepted")
+		}
+		wr.Close()
+	})
+	k.Run()
+}

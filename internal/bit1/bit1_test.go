@@ -1,0 +1,225 @@
+package bit1
+
+import (
+	"strings"
+	"testing"
+
+	"picmcio/internal/darshan"
+	"picmcio/internal/lustre"
+	"picmcio/internal/mpisim"
+	"picmcio/internal/pfs"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+	"picmcio/internal/units"
+	"picmcio/internal/workload"
+)
+
+func TestParseDeck(t *testing.T) {
+	d, err := ParseDeck(`
+# BIT1 input
+datfile = run42
+dmpstep = 500
+mvflag  = 1
+mvstep  = 100
+last_step = 1000
+cells = 1024
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DatFile != "run42" || d.DMPStep != 500 || d.MVStep != 100 || d.LastStep != 1000 || d.Cells != 1024 {
+		t.Fatalf("deck=%+v", d)
+	}
+	if d.DiagEpochs() != 10 {
+		t.Fatalf("diag epochs=%d", d.DiagEpochs())
+	}
+	if d.CheckpointEpochs() != 2 {
+		t.Fatalf("checkpoint epochs=%d", d.CheckpointEpochs())
+	}
+}
+
+func TestParseDeckErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nonsense line",
+		"unknown_key = 3",
+		"dmpstep = abc",
+		"last_step = 0",
+		"mvflag = 1\nmvstep = 0",
+	} {
+		if _, err := ParseDeck(bad); err == nil {
+			t.Errorf("deck %q accepted", bad)
+		}
+	}
+}
+
+func TestEpochSchedule(t *testing.T) {
+	d := InputDeck{DatFile: "x", LastStep: 1000, MVFlag: 1, MVStep: 300, DMPStep: 500}
+	eps := epochs(d)
+	// Diags at 300, 600, 900; checkpoints at 500, 1000 (last step).
+	var steps []int
+	for _, e := range eps {
+		steps = append(steps, e.step)
+	}
+	want := []int{300, 500, 600, 900, 1000}
+	if len(steps) != len(want) {
+		t.Fatalf("steps=%v", steps)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("steps=%v, want %v", steps, want)
+		}
+	}
+	if !eps[4].checkpoint {
+		t.Fatal("final step must checkpoint")
+	}
+}
+
+// runBIT1 executes a small run and returns (fs, darshan log, elapsed).
+func runBIT1(t *testing.T, mode IOMode, ranks int, toml string) (*lustre.FS, *darshan.Log, sim.Time) {
+	t.Helper()
+	k := sim.NewKernel()
+	fs := lustre.New(k, lustre.DefaultParams())
+	w := mpisim.NewWorld(k, ranks, mpisim.AlphaBeta(1e-6, 1.0/10e9))
+	col := darshan.NewCollector()
+	cfg := Config{
+		Deck: InputDeck{
+			DatFile: "bit1", LastStep: 400, MVFlag: 1, MVStep: 100, DMPStep: 200,
+		},
+		Sizing:         workload.Default(),
+		OutDir:         "/out",
+		Mode:           mode,
+		OpenPMDOptions: toml,
+	}
+	// Scale sizing down so the test is light.
+	cfg.Sizing.CheckpointTotalBytes = 4 * units.MiB
+	cfg.Sizing.DiagSnapshotTotalBytes = 1 * units.MiB
+	w.Run(func(r *mpisim.Rank) {
+		env := &posix.Env{FS: fs, Client: &pfs.Client{}, Rank: r.ID, Monitor: col}
+		if err := Run(cfg, RankEnv{Rank: r, Env: env}); err != nil {
+			t.Error(err)
+		}
+	})
+	end := k.Now()
+	return fs, col.Snapshot(darshan.JobMeta{NProcs: ranks, RunSeconds: float64(end)}), end
+}
+
+func countFiles(fs *lustre.FS, dir string) (n int, total, maxSize int64) {
+	fs.Namespace().WalkFiles(dir, func(p string, node *pfs.Node) {
+		n++
+		total += node.Size
+		if node.Size > maxSize {
+			maxSize = node.Size
+		}
+	})
+	return
+}
+
+func TestOriginalFileCountMatchesTableII(t *testing.T) {
+	fs, _, _ := runBIT1(t, IOOriginal, 8, "")
+	n, total, _ := countFiles(fs, "/out")
+	// Table II: 2·ranks + 6 files.
+	if n != 2*8+6 {
+		t.Fatalf("files=%d, want %d", n, 2*8+6)
+	}
+	if total <= 0 {
+		t.Fatal("no data written")
+	}
+}
+
+func TestOpenPMDFileCountMatchesTableII(t *testing.T) {
+	// With NumAggregators=2: data.0 data.1 md.0 md.idx profiling.json
+	// inside the .bp4 dir + 2 shared logs = 7 files (nAgg + 5).
+	fs, _, _ := runBIT1(t, IOOpenPMD, 8, `
+[adios2.engine.parameters]
+NumAggregators = "2"
+`)
+	n, _, _ := countFiles(fs, "/out")
+	if n != 2+5 {
+		var names []string
+		fs.Namespace().WalkFiles("/out", func(p string, _ *pfs.Node) { names = append(names, p) })
+		t.Fatalf("files=%d, want 7: %v", n, names)
+	}
+}
+
+func TestOpenPMDConstantFilesWith1Aggr(t *testing.T) {
+	for _, ranks := range []int{2, 4, 8} {
+		fs, _, _ := runBIT1(t, IOOpenPMD, ranks, `
+[adios2.engine.parameters]
+NumAggregators = "1"
+`)
+		n, _, _ := countFiles(fs, "/out")
+		if n != 6 {
+			t.Fatalf("ranks=%d: files=%d, want constant 6", ranks, n)
+		}
+	}
+}
+
+func TestCheckpointOverwriteKeepsPayloadBounded(t *testing.T) {
+	// The .bp4 data payload must stay ~one snapshot even after several
+	// epochs (iteration 0 overwrite), unlike a naive append.
+	fs, _, _ := runBIT1(t, IOOpenPMD, 4, `
+[adios2.engine.parameters]
+NumAggregators = "1"
+`)
+	node, err := fs.Namespace().Lookup("/out/bit1_file.bp4/data.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := workload.Default()
+	sz.CheckpointTotalBytes = 4 * units.MiB
+	sz.DiagSnapshotTotalBytes = 1 * units.MiB
+	perRank := sz.PerRankCheckpoint(4) + sz.PerRankDiag(4)
+	snapshot := 4 * perRank
+	if node.Size > snapshot*3/2 {
+		t.Fatalf("data.0 grew to %d (snapshot is %d): overwrite broken", node.Size, snapshot)
+	}
+}
+
+func TestOpenPMDFasterThanOriginal(t *testing.T) {
+	// The headline result: openPMD+BP4 writes the same volume in less
+	// virtual time than the original stdio path.
+	_, logO, endO := runBIT1(t, IOOriginal, 16, "")
+	_, logP, endP := runBIT1(t, IOOpenPMD, 16, `
+[adios2.engine.parameters]
+NumAggregators = "2"
+`)
+	if endP >= endO {
+		t.Fatalf("openPMD (%v) not faster than original (%v)", endP, endO)
+	}
+	_, metaO, _ := logO.PerProcessTimes()
+	_, metaP, _ := logP.PerProcessTimes()
+	if metaP >= metaO {
+		t.Fatalf("openPMD metadata time %v not below original %v", metaP, metaO)
+	}
+}
+
+func TestDarshanSeesOriginalWrites(t *testing.T) {
+	_, log, _ := runBIT1(t, IOOriginal, 4, "")
+	if log.TotalBytesWritten() == 0 {
+		t.Fatal("darshan saw no writes")
+	}
+	// File-per-process: at least one record per rank file.
+	perFile := log.FileSummaries()
+	dats := 0
+	for _, f := range perFile {
+		if strings.Contains(f.Path, ".dat") || strings.Contains(f.Path, ".dmp") {
+			dats++
+		}
+	}
+	if dats < 8 {
+		t.Fatalf("expected per-rank records, got %d", dats)
+	}
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	k := sim.NewKernel()
+	fs := lustre.New(k, lustre.DefaultParams())
+	w := mpisim.NewWorld(k, 1, nil)
+	w.Run(func(r *mpisim.Rank) {
+		env := &posix.Env{FS: fs, Client: &pfs.Client{}}
+		err := Run(Config{Deck: DefaultDeck(), Sizing: workload.Default(), OutDir: "/o", Mode: IOMode(99)}, RankEnv{Rank: r, Env: env})
+		if err == nil {
+			t.Error("mode 99 accepted")
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package bit1
+
+import (
+	"fmt"
+
+	"picmcio/internal/core"
+	"picmcio/internal/mpisim"
+	"picmcio/internal/openpmd"
+	"picmcio/internal/pfs"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+	"picmcio/internal/stdio"
+	"picmcio/internal/workload"
+)
+
+// IOMode selects the output path.
+type IOMode int
+
+// Output paths of the paper.
+const (
+	IOOriginal IOMode = iota // serial stdio file-per-process (baseline)
+	IOOpenPMD                // openPMD adaptor → ADIOS2 BP4
+)
+
+// String implements fmt.Stringer.
+func (m IOMode) String() string {
+	if m == IOOpenPMD {
+		return "openPMD+BP4"
+	}
+	return "Original I/O"
+}
+
+// Config describes one BIT1 run.
+type Config struct {
+	Deck   InputDeck
+	Sizing workload.Sizing
+	OutDir string
+	Mode   IOMode
+	// OpenPMDOptions is the TOML configuration handed to the adaptor
+	// (engine parameters, aggregators, compression).
+	OpenPMDOptions string
+	// ComputePerStep charges virtual compute time per PIC step between
+	// output epochs (0 for pure-I/O experiments).
+	ComputePerStep sim.Duration
+	// StdioOverhead is the per-flush synchronous cost of the original
+	// stdio writer on the target machine (cluster.Machine.StdioWriteOverhead).
+	StdioOverhead sim.Duration
+}
+
+// RankEnv supplies the per-rank simulation context.
+type RankEnv struct {
+	Rank *mpisim.Rank
+	Env  *posix.Env
+}
+
+// Run executes the BIT1 time-step loop for one rank. It is the function
+// launched once per rank under mpisim. Collective operations inside
+// require every rank of the world to call Run with the same config.
+func Run(cfg Config, re RankEnv) error {
+	if err := cfg.Deck.Validate(); err != nil {
+		return err
+	}
+	if err := readInputDeck(cfg, re); err != nil {
+		return err
+	}
+	switch cfg.Mode {
+	case IOOriginal:
+		return runOriginal(cfg, re)
+	case IOOpenPMD:
+		return runOpenPMD(cfg, re)
+	default:
+		return fmt.Errorf("bit1: unknown I/O mode %d", cfg.Mode)
+	}
+}
+
+// inputDeckBytes is the size of the input file every rank reads at start
+// ("a relatively small (1-3 kB) file read by all processes", §II) — the
+// only read operation in a BIT1 run, visible as the constant read bar of
+// Fig. 5.
+const inputDeckBytes = 2048
+
+// readInputDeck has rank 0 stage the input file, then every rank read it.
+func readInputDeck(cfg Config, re RankEnv) error {
+	r, env, p := re.Rank, re.Env, re.Rank.Proc
+	path := pfs.Join(cfg.OutDir, "..", cfg.Deck.DatFile+".inp")
+	if r.ID == 0 {
+		fd, err := env.Create(p, path)
+		if err != nil {
+			return err
+		}
+		fd.Write(p, inputDeckBytes, nil)
+		fd.Close(p)
+	}
+	r.Comm.Barrier()
+	fd, err := env.Open(p, path)
+	if err != nil {
+		return err
+	}
+	fd.Read(p, inputDeckBytes)
+	fd.Close(p)
+	r.Comm.Barrier()
+	return nil
+}
+
+// epoch describes one output event in the step loop.
+type epoch struct {
+	step       int
+	diag       bool
+	checkpoint bool
+}
+
+// epochs enumerates the output schedule of a deck, in step order.
+func epochs(d InputDeck) []epoch {
+	var out []epoch
+	for s := 1; s <= d.LastStep; s++ {
+		diag := d.MVFlag > 0 && d.MVStep > 0 && s%d.MVStep == 0
+		ck := s%d.DMPStep == 0 || s == d.LastStep
+		if diag || ck {
+			out = append(out, epoch{step: s, diag: diag, checkpoint: ck})
+		}
+	}
+	return out
+}
+
+// sharedFileNames lists the rank-0 global outputs for a mode.
+func sharedFileNames(cfg Config) []string {
+	n := cfg.Sizing.SharedFilesOriginal
+	if cfg.Mode == IOOpenPMD {
+		n = cfg.Sizing.SharedFilesOpenPMD
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = pfs.Join(cfg.OutDir, fmt.Sprintf("%s_global_%d.dat", cfg.Deck.DatFile, i))
+	}
+	return names
+}
+
+// runOriginal is BIT1's baseline writer: every rank owns a .dat and a
+// .dmp file, re-written at each epoch through buffered stdio, while rank 0
+// additionally appends the global history files — the file-per-process
+// pattern whose metadata cost collapses at scale (Figs. 2–5).
+func runOriginal(cfg Config, re RankEnv) error {
+	r, env, p := re.Rank, re.Env, re.Rank.Proc
+	ranks := r.Comm.Size()
+	sz := cfg.Sizing
+
+	datPath := pfs.Join(cfg.OutDir, fmt.Sprintf("%s_%06d.dat", cfg.Deck.DatFile, r.ID))
+	dmpPath := pfs.Join(cfg.OutDir, fmt.Sprintf("%s_%06d.dmp", cfg.Deck.DatFile, r.ID))
+
+	var shared []*stdio.File
+	if r.ID == 0 {
+		if err := env.MkdirAll(p, cfg.OutDir); err != nil {
+			return err
+		}
+		for _, name := range sharedFileNames(cfg) {
+			f, err := stdio.Fopen(p, env, name, "w")
+			if err != nil {
+				return err
+			}
+			shared = append(shared, f)
+		}
+	}
+	r.Comm.Barrier()
+
+	prev := 0
+	for _, ep := range epochs(cfg.Deck) {
+		if cfg.ComputePerStep > 0 {
+			p.Sleep(cfg.ComputePerStep * sim.Duration(ep.step-prev))
+		}
+		prev = ep.step
+		if ep.diag {
+			if err := writeStdioVolume(p, env, datPath, sz.PerRankDiag(ranks), sz.StdioChunk, cfg.StdioOverhead); err != nil {
+				return err
+			}
+			for _, f := range shared {
+				f.Fwrite(p, sz.SharedFileBytes, nil)
+				f.Fflush(p)
+			}
+		}
+		if ep.checkpoint {
+			if err := writeStdioVolume(p, env, dmpPath, sz.PerRankCheckpoint(ranks), sz.StdioChunk, cfg.StdioOverhead); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range shared {
+		f.Fclose(p)
+	}
+	r.Comm.Barrier()
+	return nil
+}
+
+// writeStdioVolume re-creates path and streams n bytes through a stdio
+// buffer of the given chunk size, mimicking BIT1's formatted output.
+func writeStdioVolume(p *sim.Proc, env *posix.Env, path string, n, chunk int64, overhead sim.Duration) error {
+	f, err := stdio.Fopen(p, env, path, "w")
+	if err != nil {
+		return err
+	}
+	f.SetBufSize(chunk)
+	f.SetWriteOverhead(overhead)
+	f.Fwrite(p, n, nil)
+	f.Fclose(p)
+	return nil
+}
+
+// runOpenPMD is the paper's integration: accumulate per-rank vectors,
+// then save everything as openPMD iteration 0 (periodically overwritten
+// with the latest system state) through the ADIOS2 BP4 engine.
+func runOpenPMD(cfg Config, re RankEnv) error {
+	r, env, p := re.Rank, re.Env, re.Rank.Proc
+	ranks := r.Comm.Size()
+	sz := cfg.Sizing
+
+	if r.ID == 0 {
+		if err := env.MkdirAll(p, cfg.OutDir); err != nil {
+			return err
+		}
+	}
+	r.Comm.Barrier()
+
+	host := openpmd.Host{Proc: p, Env: env, Comm: r.Comm}
+	ad, err := core.NewAdaptor(host, pfs.Join(cfg.OutDir, cfg.Deck.DatFile+"_file.bp4"), cfg.OpenPMDOptions)
+	if err != nil {
+		return err
+	}
+
+	var shared []*stdio.File
+	if r.ID == 0 {
+		for _, name := range sharedFileNames(cfg) {
+			f, err := stdio.Fopen(p, env, name, "w")
+			if err != nil {
+				return err
+			}
+			shared = append(shared, f)
+		}
+	}
+
+	varNames := snapshotVarNames(sz.NVars)
+	elems := sz.PerRankSnapshotElems(ranks)
+
+	prev := 0
+	for _, ep := range epochs(cfg.Deck) {
+		if cfg.ComputePerStep > 0 {
+			p.Sleep(cfg.ComputePerStep * sim.Duration(ep.step-prev))
+		}
+		prev = ep.step
+		if !ep.diag && !ep.checkpoint {
+			continue
+		}
+		// Accumulate the latest system state (checkpoint + diagnostics)
+		// into the global vectors, then flush as iteration 0.
+		for i, name := range varNames {
+			ad.AccumulateVolume(name, elems[i])
+		}
+		if err := ad.SaveIteration(0); err != nil {
+			return err
+		}
+		if ep.diag {
+			for _, f := range shared {
+				f.Fwrite(p, sz.SharedFileBytes, nil)
+				f.Fflush(p)
+			}
+		}
+	}
+	for _, f := range shared {
+		f.Fclose(p)
+	}
+	if err := ad.Close(); err != nil {
+		return err
+	}
+	r.Comm.Barrier()
+	return nil
+}
+
+// snapshotVarNames builds the openPMD component names the snapshot is
+// spread over: species × (position + momentum components).
+func snapshotVarNames(n int) []string {
+	species := []string{"e", "D+", "D"}
+	records := []string{"position/x", "momentum/x", "momentum/y", "momentum/z"}
+	var out []string
+	for _, sp := range species {
+		for _, rec := range records {
+			if len(out) == n {
+				return out
+			}
+			out = append(out, sp+"/"+rec)
+		}
+	}
+	for i := len(out); i < n; i++ {
+		out = append(out, fmt.Sprintf("meshes/profile%d", i))
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package cephfs models a Ceph-like file system: data is chunked into
+// fixed-size objects placed pseudo-randomly (CRUSH-like hashing) across a
+// pool of OSDs, and metadata is served by a small MDS cluster. Random
+// placement plus configurable latency variance gives the erratic
+// throughput behaviour the paper observes on Vega.
+package cephfs
+
+import (
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+	"picmcio/internal/xrand"
+)
+
+// Params configures the simulated Ceph cluster.
+type Params struct {
+	NumOSDs    int
+	OSDRate    float64      // bytes/second per OSD
+	OSDPerOp   sim.Duration // per-object-op latency
+	ObjectSize int64        // CRUSH object size (default 4 MiB)
+	MDSThreads int
+	MetaOp     sim.Duration
+	RPCLatency sim.Duration
+	// LatencyVar adds an exponential tail with this mean (seconds) to
+	// each object operation, modelling multi-tenant interference.
+	LatencyVar float64
+	Seed       uint64
+}
+
+// DefaultParams returns a Vega-class CephFS configuration.
+func DefaultParams() Params {
+	return Params{
+		NumOSDs:    60,
+		OSDRate:    0.35e9,
+		OSDPerOp:   300e-6,
+		ObjectSize: 4 << 20,
+		MDSThreads: 8,
+		MetaOp:     350e-6,
+		RPCLatency: 60e-6,
+		LatencyVar: 2e-3,
+	}
+}
+
+// FS is a simulated CephFS.
+type FS struct {
+	k    *sim.Kernel
+	ns   *pfs.Namespace
+	p    Params
+	osds []*sim.Server
+	mds  *sim.MultiServer
+	rng  *xrand.RNG
+
+	nextIno      uint64
+	bytesWritten uint64
+	bytesRead    uint64
+}
+
+// New creates a CephFS on kernel k.
+func New(k *sim.Kernel, p Params) *FS {
+	if p.NumOSDs < 1 {
+		p.NumOSDs = 1
+	}
+	if p.ObjectSize <= 0 {
+		p.ObjectSize = 4 << 20
+	}
+	if p.MDSThreads < 1 {
+		p.MDSThreads = 1
+	}
+	fs := &FS{
+		k:   k,
+		ns:  pfs.NewNamespace(),
+		p:   p,
+		mds: sim.NewMultiServer(k, p.MDSThreads, 0, 0),
+		rng: xrand.New(p.Seed ^ 0xcef5),
+	}
+	for i := 0; i < p.NumOSDs; i++ {
+		fs.osds = append(fs.osds, sim.NewServer(k, p.OSDRate, p.OSDPerOp))
+	}
+	return fs
+}
+
+// Name implements pfs.FileSystem.
+func (fs *FS) Name() string { return "cephfs" }
+
+// Namespace exposes the file tree for offline inspection.
+func (fs *FS) Namespace() *pfs.Namespace { return fs.ns }
+
+// TotalBytesWritten reports cumulative bytes written.
+func (fs *FS) TotalBytesWritten() uint64 { return fs.bytesWritten }
+
+func (fs *FS) metaOp(p *sim.Proc) {
+	p.SleepUntil(fs.mds.ReserveDur(fs.p.MetaOp) + fs.p.RPCLatency)
+}
+
+// placement hashes (inode, objectIndex) to an OSD, CRUSH-style.
+func (fs *FS) placement(ino uint64, obj int64) *sim.Server {
+	x := ino*0x9e3779b97f4a7c15 + uint64(obj)*0xd1342543de82ef95
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return fs.osds[x%uint64(len(fs.osds))]
+}
+
+func (fs *FS) tail() sim.Duration {
+	if fs.p.LatencyVar <= 0 {
+		return 0
+	}
+	return sim.Duration(fs.p.LatencyVar * fs.rng.ExpFloat64())
+}
+
+type auxIno struct{ ino uint64 }
+
+type file struct {
+	fs   *FS
+	node *pfs.Node
+	path string
+	ino  uint64
+}
+
+func (fs *FS) fileFor(n *pfs.Node, path string) *file {
+	a, ok := n.Aux.(*auxIno)
+	if !ok {
+		fs.nextIno++
+		a = &auxIno{ino: fs.nextIno}
+		n.Aux = a
+	}
+	return &file{fs: fs, node: n, path: pfs.Clean(path), ino: a.ino}
+}
+
+// Create implements pfs.FileSystem.
+func (fs *FS) Create(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	fs.metaOp(p)
+	n, err := fs.ns.CreateFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.fileFor(n, path), nil
+}
+
+// Open implements pfs.FileSystem.
+func (fs *FS) Open(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	fs.metaOp(p)
+	n, err := fs.ns.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.fileFor(n, path), nil
+}
+
+// OpenAppend implements pfs.FileSystem.
+func (fs *FS) OpenAppend(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	if _, err := fs.ns.Lookup(path); err != nil {
+		return fs.Create(p, c, path)
+	}
+	return fs.Open(p, c, path)
+}
+
+// Stat implements pfs.FileSystem.
+func (fs *FS) Stat(p *sim.Proc, c *pfs.Client, path string) (pfs.FileInfo, error) {
+	fs.metaOp(p)
+	n, err := fs.ns.Lookup(path)
+	if err != nil {
+		return pfs.FileInfo{}, err
+	}
+	return pfs.FileInfo{Path: pfs.Clean(path), Size: n.Size, IsDir: n.Dir}, nil
+}
+
+// Unlink implements pfs.FileSystem.
+func (fs *FS) Unlink(p *sim.Proc, c *pfs.Client, path string) error {
+	fs.metaOp(p)
+	return fs.ns.Unlink(path)
+}
+
+// MkdirAll implements pfs.FileSystem.
+func (fs *FS) MkdirAll(p *sim.Proc, c *pfs.Client, path string) error {
+	fs.metaOp(p)
+	_, err := fs.ns.MkdirAll(path)
+	return err
+}
+
+// ReadDir implements pfs.FileSystem.
+func (fs *FS) ReadDir(p *sim.Proc, c *pfs.Client, path string) ([]pfs.FileInfo, error) {
+	fs.metaOp(p)
+	return fs.ns.ReadDir(path)
+}
+
+func (f *file) Path() string { return f.path }
+func (f *file) Size() int64  { return f.node.Size }
+
+// objSpan issues per-object operations covering [off, off+n) and returns
+// the latest completion time.
+func (f *file) objSpan(off, n int64) sim.Time {
+	fs := f.fs
+	end := fs.k.Now()
+	os := fs.p.ObjectSize
+	for n > 0 {
+		obj := off / os
+		within := off % os
+		chunk := os - within
+		if chunk > n {
+			chunk = n
+		}
+		e := fs.placement(f.ino, obj).Reserve(chunk) + fs.tail()
+		if e > end {
+			end = e
+		}
+		off += chunk
+		n -= chunk
+	}
+	return end
+}
+
+// WriteAt implements pfs.File.
+func (f *file) WriteAt(p *sim.Proc, c *pfs.Client, off, n int64, data []byte) {
+	end := p.Now()
+	if c != nil && c.NIC != nil && n > 0 {
+		end = c.NIC.Reserve(n)
+	}
+	if e := f.objSpan(off, n); e > end {
+		end = e
+	}
+	pfs.NodeWrite(f.node, off, n, data)
+	f.fs.bytesWritten += uint64(n)
+	p.SleepUntil(end + f.fs.p.RPCLatency)
+}
+
+// ReadAt implements pfs.File.
+func (f *file) ReadAt(p *sim.Proc, c *pfs.Client, off, n int64) []byte {
+	if off >= f.node.Size {
+		return nil
+	}
+	if off+n > f.node.Size {
+		n = f.node.Size - off
+	}
+	end := f.objSpan(off, n)
+	if c != nil && c.NIC != nil && n > 0 {
+		if e := c.NIC.Reserve(n); e > end {
+			end = e
+		}
+	}
+	f.fs.bytesRead += uint64(n)
+	p.SleepUntil(end + f.fs.p.RPCLatency)
+	return pfs.NodeRead(f.node, off, n)
+}
+
+// Sync implements pfs.File.
+func (f *file) Sync(p *sim.Proc, c *pfs.Client) {
+	p.Sleep(f.fs.p.RPCLatency + f.fs.tail())
+}
+
+// Close implements pfs.File.
+func (f *file) Close(p *sim.Proc, c *pfs.Client) { f.fs.metaOp(p) }
+
+var _ pfs.FileSystem = (*FS)(nil)

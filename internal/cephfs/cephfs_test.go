@@ -1,0 +1,103 @@
+package cephfs
+
+import (
+	"testing"
+
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+func TestPlacementIsDeterministic(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(k, DefaultParams())
+	a := fs.placement(42, 7)
+	b := fs.placement(42, 7)
+	if a != b {
+		t.Fatal("placement not deterministic")
+	}
+}
+
+func TestPlacementSpreads(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(k, DefaultParams())
+	seen := map[*sim.Server]bool{}
+	for obj := int64(0); obj < 500; obj++ {
+		seen[fs.placement(1, obj)] = true
+	}
+	if len(seen) < fs.p.NumOSDs/2 {
+		t.Fatalf("placement used only %d of %d OSDs", len(seen), fs.p.NumOSDs)
+	}
+}
+
+func TestWriteReadStat(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(k, DefaultParams())
+	var size int64
+	var got string
+	k.Spawn("w", func(pr *sim.Proc) {
+		c := &pfs.Client{}
+		f, err := fs.Create(pr, c, "/vega/out.dat")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.WriteAt(pr, c, 0, 4, []byte("ceph"))
+		got = string(f.ReadAt(pr, c, 0, 4))
+		f.Close(pr, c)
+		fi, _ := fs.Stat(pr, c, "/vega/out.dat")
+		size = fi.Size
+	})
+	k.Run()
+	if got != "ceph" || size != 4 {
+		t.Fatalf("got=%q size=%d", got, size)
+	}
+}
+
+func TestLatencyVarianceIsErratic(t *testing.T) {
+	// With variance enabled, identical back-to-back writes take varying
+	// amounts of time — the Vega signature.
+	k := sim.NewKernel()
+	p := DefaultParams()
+	p.LatencyVar = 5e-3
+	fs := New(k, p)
+	var durs []sim.Duration
+	k.Spawn("w", func(pr *sim.Proc) {
+		c := &pfs.Client{}
+		f, _ := fs.Create(pr, c, "/v")
+		for i := 0; i < 20; i++ {
+			t0 := pr.Now()
+			f.WriteAt(pr, c, int64(i)<<20, 1<<20, nil)
+			durs = append(durs, pr.Now()-t0)
+		}
+	})
+	k.Run()
+	distinct := map[sim.Duration]bool{}
+	for _, d := range durs {
+		distinct[d] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("write durations suspiciously uniform: %d distinct of %d", len(distinct), len(durs))
+	}
+}
+
+func TestObjectChunking(t *testing.T) {
+	// A write spanning multiple 4 MiB objects must land on several OSDs:
+	// time for 64 MiB spread over 16 objects should be far below the
+	// single-OSD serial time.
+	k := sim.NewKernel()
+	p := DefaultParams()
+	p.LatencyVar = 0
+	fs := New(k, p)
+	var end sim.Time
+	k.Spawn("w", func(pr *sim.Proc) {
+		c := &pfs.Client{}
+		f, _ := fs.Create(pr, c, "/big")
+		f.WriteAt(pr, c, 0, 64<<20, nil)
+		end = pr.Now()
+	})
+	k.Run()
+	serial := float64(64<<20) / p.OSDRate
+	if float64(end) > 0.6*serial {
+		t.Fatalf("object spread ineffective: end=%v, serial=%v", end, serial)
+	}
+}

@@ -1,0 +1,224 @@
+// Package cluster describes the simulated HPC machines used in the paper's
+// evaluation — Discoverer, Dardel and Vega — as parameter presets: node
+// counts, cores per node, per-node injection bandwidth, collective network
+// coefficients, and the attached storage system (Lustre, NFS or CephFS).
+//
+// Build instantiates a machine on a simulation kernel, producing the file
+// system and one pfs.Client per allocated node. Numerical values are
+// calibrated so that the experiment harness reproduces the throughput
+// *shapes* (and approximate magnitudes) the paper reports; they are not
+// claims about the real hardware.
+package cluster
+
+import (
+	"fmt"
+
+	"picmcio/internal/cephfs"
+	"picmcio/internal/lustre"
+	"picmcio/internal/nfs"
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+// StorageKind selects which file-system model a machine attaches.
+type StorageKind int
+
+const (
+	StorageLustre StorageKind = iota
+	StorageNFS
+	StorageCephFS
+)
+
+// String implements fmt.Stringer.
+func (s StorageKind) String() string {
+	switch s {
+	case StorageLustre:
+		return "lustre"
+	case StorageNFS:
+		return "nfs"
+	case StorageCephFS:
+		return "cephfs"
+	}
+	return fmt.Sprintf("StorageKind(%d)", int(s))
+}
+
+// Machine is a cluster preset.
+type Machine struct {
+	Name         string
+	MaxNodes     int
+	CoresPerNode int
+	NICRate      float64 // bytes/second injection bandwidth per node
+
+	// Collective network model: time = Alpha*ceil(log2 P) + bytes*Beta.
+	NetAlpha float64 // seconds per hop
+	NetBeta  float64 // seconds per byte
+
+	// StdioWriteOverhead is the synchronous client-side cost each stdio
+	// buffer flush pays in BIT1's original writer (formatting + VFS +
+	// sync RPC); bulk POSIX writes (BP4, IOR) do not pay it.
+	StdioWriteOverhead float64 // seconds
+
+	Storage StorageKind
+	Lustre  lustre.Params
+	NFS     nfs.Params
+	Ceph    cephfs.Params
+}
+
+// Discoverer is the petascale EuroHPC system: 1128 nodes, 2×64-core EPYC,
+// Lustre with only 4 OSTs (2.1 PB). The tiny OST count plus a modest MDS
+// is what makes its file-per-process throughput decline with scale.
+func Discoverer() Machine {
+	lp := lustre.DefaultParams()
+	lp.NumOSTs = 4
+	lp.OSTRate = 1.4e9
+	lp.OSTPerOp = 60e-6
+	lp.MDSThreads = 8
+	lp.MDSCreate = 90e-6
+	lp.MDSOpen = 45e-6
+	lp.MDSStat = 30e-6
+	lp.MDSClose = 25e-6
+	lp.RPCLatency = 40e-6
+	lp.BackboneRate = 6e9
+	return Machine{
+		Name:               "Discoverer",
+		MaxNodes:           1128,
+		CoresPerNode:       128,
+		NICRate:            10e9,
+		StdioWriteOverhead: 500e-6,
+		NetAlpha:           2.0e-6,
+		NetBeta:            1.0 / 25e9,
+		Storage:            StorageLustre,
+		Lustre:             lp,
+	}
+}
+
+// Dardel is the HPE Cray EX system: 1270 nodes, 2×64-core EPYC Zen2,
+// Slingshot network, Lustre with 48 OSTs (12 PB). It is the system every
+// tuning experiment of the paper runs on.
+func Dardel() Machine {
+	lp := lustre.DefaultParams()
+	lp.NumOSTs = 48
+	lp.OSTRate = 0.65e9
+	lp.OSTPerOp = 220e-6
+	lp.MDSThreads = 16
+	lp.MDSCreate = 70e-6
+	lp.MDSOpen = 40e-6
+	lp.MDSStat = 30e-6
+	lp.MDSClose = 25e-6
+	lp.RPCLatency = 40e-6
+	lp.BackboneRate = 18.2e9
+	return Machine{
+		Name:               "Dardel",
+		MaxNodes:           1270,
+		CoresPerNode:       128,
+		NICRate:            25e9,
+		StdioWriteOverhead: 5e-3,
+		NetAlpha:           1.3e-6,
+		NetBeta:            1.0 / 50e9,
+		Storage:            StorageLustre,
+		Lustre:             lp,
+	}
+}
+
+// Vega is the petascale EuroHPC system: 960 nodes, Lustre with 80 OSTs
+// (1 PB) plus a large CephFS. Its Lustre partition is heavily shared, which
+// we model with a large jitter fraction — hence the erratic scaling the
+// paper observes.
+func Vega() Machine {
+	lp := lustre.DefaultParams()
+	lp.NumOSTs = 80
+	lp.OSTRate = 0.40e9
+	lp.OSTPerOp = 260e-6
+	lp.MDSThreads = 12
+	lp.MDSCreate = 110e-6
+	lp.MDSOpen = 60e-6
+	lp.MDSStat = 40e-6
+	lp.MDSClose = 30e-6
+	lp.RPCLatency = 60e-6
+	lp.BackboneRate = 11e9
+	lp.JitterFrac = 0.75
+	return Machine{
+		Name:               "Vega",
+		MaxNodes:           960,
+		CoresPerNode:       128,
+		NICRate:            12.5e9,
+		StdioWriteOverhead: 2.5e-3,
+		NetAlpha:           1.6e-6,
+		NetBeta:            1.0 / 60e9,
+		Storage:            StorageLustre,
+		Lustre:             lp,
+		Ceph:               cephfs.DefaultParams(),
+	}
+}
+
+// Machines returns the three evaluation systems in paper order.
+func Machines() []Machine { return []Machine{Discoverer(), Dardel(), Vega()} }
+
+// System is an instantiated machine: a file system plus per-node clients.
+type System struct {
+	Machine Machine
+	K       *sim.Kernel
+	FS      pfs.FileSystem
+	Lustre  *lustre.FS // non-nil when Storage == StorageLustre
+	Nodes   int
+	Clients []*pfs.Client // one per node, shared by the node's ranks
+}
+
+// Build instantiates the machine with the given node allocation on kernel
+// k. Seed perturbs the storage system's stochastic elements.
+func (m Machine) Build(k *sim.Kernel, nodes int, seed uint64) (*System, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if nodes > m.MaxNodes {
+		return nil, fmt.Errorf("cluster: %s has only %d nodes (asked for %d)", m.Name, m.MaxNodes, nodes)
+	}
+	s := &System{Machine: m, K: k, Nodes: nodes}
+	switch m.Storage {
+	case StorageLustre:
+		lp := m.Lustre
+		lp.Seed = seed
+		lfs := lustre.New(k, lp)
+		s.FS, s.Lustre = lfs, lfs
+	case StorageNFS:
+		s.FS = nfs.New(k, m.NFS)
+	case StorageCephFS:
+		cp := m.Ceph
+		cp.Seed = seed
+		s.FS = cephfs.New(k, cp)
+	default:
+		return nil, fmt.Errorf("cluster: unknown storage kind %v", m.Storage)
+	}
+	s.Clients = make([]*pfs.Client, nodes)
+	for i := range s.Clients {
+		s.Clients[i] = &pfs.Client{Node: i, NIC: sim.NewServer(k, m.NICRate, 0)}
+	}
+	return s, nil
+}
+
+// Ranks reports the total MPI rank count for the node allocation
+// (cores-per-node ranks per node, as the paper runs BIT1).
+func (s *System) Ranks() int { return s.Nodes * s.Machine.CoresPerNode }
+
+// ClientFor returns the client (node NIC) a given world rank issues I/O
+// through, with ranks laid out block-wise across nodes.
+func (s *System) ClientFor(rank int) *pfs.Client {
+	node := rank / s.Machine.CoresPerNode
+	if node >= s.Nodes {
+		node = s.Nodes - 1
+	}
+	return s.Clients[node]
+}
+
+// CollectiveTime evaluates the machine's analytic collective cost model
+// for a P-rank operation moving the given total bytes.
+func (m Machine) CollectiveTime(p int, bytes int64) sim.Duration {
+	if p <= 1 {
+		return 0
+	}
+	hops := 0
+	for v := p - 1; v > 0; v >>= 1 {
+		hops++
+	}
+	return sim.Duration(m.NetAlpha*float64(hops) + m.NetBeta*float64(bytes))
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"picmcio/internal/sim"
+)
+
+func TestPresetsMatchPaper(t *testing.T) {
+	d := Discoverer()
+	if d.Lustre.NumOSTs != 4 {
+		t.Errorf("Discoverer OSTs=%d, want 4", d.Lustre.NumOSTs)
+	}
+	da := Dardel()
+	if da.Lustre.NumOSTs != 48 {
+		t.Errorf("Dardel OSTs=%d, want 48", da.Lustre.NumOSTs)
+	}
+	v := Vega()
+	if v.Lustre.NumOSTs != 80 {
+		t.Errorf("Vega OSTs=%d, want 80", v.Lustre.NumOSTs)
+	}
+	if v.Lustre.JitterFrac <= 0 {
+		t.Error("Vega must be jittered (erratic scaling)")
+	}
+	for _, m := range Machines() {
+		if m.CoresPerNode != 128 {
+			t.Errorf("%s cores/node=%d, want 128 (2×64-core EPYC)", m.Name, m.CoresPerNode)
+		}
+		if m.MaxNodes < 200 {
+			t.Errorf("%s max nodes=%d", m.Name, m.MaxNodes)
+		}
+	}
+}
+
+func TestBuildAndClients(t *testing.T) {
+	k := sim.NewKernel()
+	sys, err := Dardel().Build(k, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Lustre == nil || sys.FS == nil {
+		t.Fatal("lustre not attached")
+	}
+	if len(sys.Clients) != 3 {
+		t.Fatalf("clients=%d", len(sys.Clients))
+	}
+	if sys.Ranks() != 3*128 {
+		t.Fatalf("ranks=%d", sys.Ranks())
+	}
+	if sys.ClientFor(0) != sys.Clients[0] || sys.ClientFor(129) != sys.Clients[1] {
+		t.Fatal("rank->node mapping wrong")
+	}
+	if sys.ClientFor(99999) != sys.Clients[2] {
+		t.Fatal("rank clamp wrong")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := Dardel().Build(k, 0, 1); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := Dardel().Build(k, 99999, 1); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestCollectiveTime(t *testing.T) {
+	m := Dardel()
+	if m.CollectiveTime(1, 1000) != 0 {
+		t.Error("single-rank collective should be free")
+	}
+	small := m.CollectiveTime(2, 0)
+	big := m.CollectiveTime(25600, 0)
+	if big <= small {
+		t.Errorf("collective cost must grow with ranks: %v vs %v", small, big)
+	}
+	withBytes := m.CollectiveTime(2, 1<<30)
+	if withBytes <= small {
+		t.Error("bytes must cost time")
+	}
+}
+
+func TestStorageKindString(t *testing.T) {
+	if StorageLustre.String() != "lustre" || StorageNFS.String() != "nfs" || StorageCephFS.String() != "cephfs" {
+		t.Fatal("StorageKind strings wrong")
+	}
+}

@@ -1,0 +1,216 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// bitWriter accumulates bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nbit uint
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		take := 8 - w.nbit
+		if take > n {
+			take = n
+		}
+		w.cur = (w.cur << take) | ((v >> (n - take)) & ((1 << take) - 1))
+		w.nbit += take
+		n -= take
+		if w.nbit == 8 {
+			w.buf = append(w.buf, byte(w.cur))
+			w.cur, w.nbit = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nbit)))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	cur  uint64
+	nbit uint
+}
+
+func (r *bitReader) readBit() (uint64, error) {
+	if r.nbit == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("compress: bitstream truncated")
+		}
+		r.cur = uint64(r.buf[r.pos])
+		r.pos++
+		r.nbit = 8
+	}
+	r.nbit--
+	return (r.cur >> r.nbit) & 1, nil
+}
+
+// huffNode is a node of the code-construction tree.
+type huffNode struct {
+	sym   int
+	freq  int64
+	left  *huffNode
+	right *huffNode
+	order int // tie-breaker for determinism
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)   { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// huffCodeLengths derives canonical code lengths from symbol frequencies.
+// Symbols with zero frequency get length 0 (absent).
+func huffCodeLengths(freqs []int64) []uint8 {
+	lens := make([]uint8, len(freqs))
+	var hh huffHeap
+	order := 0
+	for s, f := range freqs {
+		if f > 0 {
+			hh = append(hh, &huffNode{sym: s, freq: f, order: order})
+			order++
+		}
+	}
+	switch len(hh) {
+	case 0:
+		return lens
+	case 1:
+		lens[hh[0].sym] = 1
+		return lens
+	}
+	heap.Init(&hh)
+	for hh.Len() > 1 {
+		a := heap.Pop(&hh).(*huffNode)
+		b := heap.Pop(&hh).(*huffNode)
+		heap.Push(&hh, &huffNode{sym: -1, freq: a.freq + b.freq, left: a, right: b, order: order})
+		order++
+	}
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.left == nil {
+			lens[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(hh[0], 0)
+	return lens
+}
+
+// canonicalCodes assigns canonical Huffman codes given code lengths.
+func canonicalCodes(lens []uint8) []uint64 {
+	type sl struct {
+		sym int
+		l   uint8
+	}
+	var order []sl
+	for s, l := range lens {
+		if l > 0 {
+			order = append(order, sl{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	codes := make([]uint64, len(lens))
+	var code uint64
+	var prev uint8
+	for _, e := range order {
+		code <<= (e.l - prev)
+		codes[e.sym] = code
+		code++
+		prev = e.l
+	}
+	return codes
+}
+
+// huffEncode encodes syms (values < nsyms) and returns the code-length
+// table plus the packed bitstream.
+func huffEncode(syms []uint16, nsyms int) (lens []uint8, stream []byte) {
+	freqs := make([]int64, nsyms)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	lens = huffCodeLengths(freqs)
+	codes := canonicalCodes(lens)
+	w := &bitWriter{}
+	for _, s := range syms {
+		w.writeBits(codes[s], uint(lens[s]))
+	}
+	return lens, w.flush()
+}
+
+// huffDecode decodes count symbols from stream using the length table.
+func huffDecode(lens []uint8, stream []byte, count int) ([]uint16, error) {
+	codes := canonicalCodes(lens)
+	// Build a decode map from (length, code) to symbol.
+	type lc struct {
+		l uint8
+		c uint64
+	}
+	dec := map[lc]uint16{}
+	maxLen := uint8(0)
+	for s, l := range lens {
+		if l > 0 {
+			dec[lc{l, codes[s]}] = uint16(s)
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+	}
+	out := make([]uint16, 0, count)
+	r := &bitReader{buf: stream}
+	for len(out) < count {
+		var code uint64
+		var l uint8
+		found := false
+		for l < maxLen {
+			b, err := r.readBit()
+			if err != nil {
+				return nil, err
+			}
+			code = code<<1 | b
+			l++
+			if s, ok := dec[lc{l, code}]; ok {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("compress: invalid huffman code")
+		}
+	}
+	return out, nil
+}

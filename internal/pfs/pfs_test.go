@@ -1,0 +1,185 @@
+package pfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestClean(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"a/b", "/a/b"},
+		{"/a//b/", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"/a/../b", "/b"},
+		{"../../x", "/x"},
+	}
+	for _, c := range cases {
+		if got := Clean(c.in); got != c.want {
+			t.Errorf("Clean(%q)=%q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	dir, base := Split("/a/b/c.txt")
+	if dir != "/a/b" || base != "c.txt" {
+		t.Fatalf("got %q %q", dir, base)
+	}
+	dir, base = Split("/top")
+	if dir != "/" || base != "top" {
+		t.Fatalf("got %q %q", dir, base)
+	}
+}
+
+func TestNamespaceCreateOpen(t *testing.T) {
+	ns := NewNamespace()
+	n, err := ns.CreateFile("/out/run1/data.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	NodeWrite(n, 0, 100, nil)
+	got, err := ns.OpenFile("/out/run1/data.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 100 {
+		t.Fatalf("size=%d, want 100", got.Size)
+	}
+	if _, err := ns.OpenFile("/out/run1"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("opening dir: err=%v, want ErrIsDir", err)
+	}
+	if _, err := ns.OpenFile("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing file: err=%v, want ErrNotExist", err)
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	ns := NewNamespace()
+	n, _ := ns.CreateFile("/f")
+	NodeWrite(n, 0, 50, []byte(make([]byte, 50)))
+	n2, err := ns.CreateFile("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Size != 0 || n2.Content != nil {
+		t.Fatalf("re-create did not truncate: size=%d", n2.Size)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	ns := NewNamespace()
+	ns.CreateFile("/a/f")
+	if err := ns.Unlink("/a/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.OpenFile("/a/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("file still exists after unlink")
+	}
+	if err := ns.Unlink("/a"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("unlink dir: err=%v, want ErrIsDir", err)
+	}
+	if err := ns.Unlink("/a/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("unlink missing: err=%v, want ErrNotExist", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	ns := NewNamespace()
+	for _, f := range []string{"/d/c", "/d/a", "/d/b"} {
+		ns.CreateFile(f)
+	}
+	ns.MkdirAll("/d/sub")
+	ents, err := ns.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/d/a", "/d/b", "/d/c", "/d/sub"}
+	if len(ents) != len(want) {
+		t.Fatalf("got %d entries", len(ents))
+	}
+	for i, e := range ents {
+		if e.Path != want[i] {
+			t.Errorf("entry %d = %q, want %q", i, e.Path, want[i])
+		}
+	}
+	if !ents[3].IsDir {
+		t.Error("sub should be a dir")
+	}
+}
+
+func TestWalkFiles(t *testing.T) {
+	ns := NewNamespace()
+	files := []string{"/x/1", "/x/sub/2", "/x/sub/deep/3"}
+	for _, f := range files {
+		ns.CreateFile(f)
+	}
+	var got []string
+	if err := ns.WalkFiles("/x", func(p string, n *Node) { got = append(got, p) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("walked %v", got)
+	}
+}
+
+func TestNodeWriteReadContent(t *testing.T) {
+	n := &Node{}
+	NodeWrite(n, 0, 4, []byte("abcd"))
+	NodeWrite(n, 2, 4, []byte("WXYZ"))
+	if n.Size != 6 {
+		t.Fatalf("size=%d, want 6", n.Size)
+	}
+	if got := string(NodeRead(n, 0, 6)); got != "abWXYZ" {
+		t.Fatalf("content=%q", got)
+	}
+	if NodeRead(n, 10, 4) != nil {
+		t.Fatal("read past EOF should be nil")
+	}
+}
+
+func TestNodeVolumeMode(t *testing.T) {
+	n := &Node{}
+	NodeWrite(n, 0, 1<<30, nil) // 1 GiB tracked, zero bytes stored
+	if n.Size != 1<<30 || n.Content != nil {
+		t.Fatal("volume mode should not materialize content")
+	}
+	if NodeRead(n, 0, 16) != nil {
+		t.Fatal("volume-mode read should be nil")
+	}
+}
+
+// Property: Clean is idempotent and always yields an absolute path.
+func TestCleanIdempotentProperty(t *testing.T) {
+	f := func(s string) bool {
+		c := Clean(s)
+		return c == Clean(c) && len(c) > 0 && c[0] == '/'
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a sequence of writes, Size equals the max extent end.
+func TestNodeSizeProperty(t *testing.T) {
+	f := func(offs []uint16, lens []uint8) bool {
+		n := &Node{}
+		var want int64
+		for i := range offs {
+			if i >= len(lens) {
+				break
+			}
+			off, l := int64(offs[i]), int64(lens[i])
+			NodeWrite(n, off, l, nil)
+			if off+l > want {
+				want = off + l
+			}
+		}
+		return n.Size == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

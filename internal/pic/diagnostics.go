@@ -1,0 +1,130 @@
+package pic
+
+import "math"
+
+// DensityProfile bins a species' macro-particles onto the cell grid and
+// returns physical densities per cell — the "plasma profiles" diagnostic
+// behind BIT1's slow flag.
+func (s *Sim) DensityProfile(sp *Species) []float64 {
+	out := make([]float64, s.P.Cells)
+	dx := s.dx()
+	for _, x := range sp.X {
+		i := int(x / dx)
+		if i >= s.P.Cells {
+			i = s.P.Cells - 1
+		}
+		out[i] += sp.Weight / dx
+	}
+	return out
+}
+
+// VelocityDistribution histograms one velocity component into bins over
+// [-vmax, vmax] — the velocity distribution function diagnostic.
+func VelocityDistribution(vs []float64, bins int, vmax float64) []float64 {
+	out := make([]float64, bins)
+	if bins == 0 || vmax <= 0 {
+		return out
+	}
+	w := 2 * vmax / float64(bins)
+	for _, v := range vs {
+		i := int((v + vmax) / w)
+		if i < 0 || i >= bins {
+			continue
+		}
+		out[i]++
+	}
+	return out
+}
+
+// EnergyDistribution histograms kinetic energies (in eV) into bins over
+// [0, emax] — the energy distribution function diagnostic.
+func (sp *Species) EnergyDistribution(bins int, emaxEV float64) []float64 {
+	out := make([]float64, bins)
+	if bins == 0 || emaxEV <= 0 {
+		return out
+	}
+	w := emaxEV / float64(bins)
+	for i := range sp.X {
+		v2 := sp.VX[i]*sp.VX[i] + sp.VY[i]*sp.VY[i] + sp.VZ[i]*sp.VZ[i]
+		ev := 0.5 * sp.Mass * v2 / ElementaryQ
+		b := int(ev / w)
+		if b >= 0 && b < bins {
+			out[b]++
+		}
+	}
+	return out
+}
+
+// AngularDistribution histograms the pitch angle cos θ = vx/|v| into bins
+// over [-1, 1] — the angular distribution function diagnostic.
+func (sp *Species) AngularDistribution(bins int) []float64 {
+	out := make([]float64, bins)
+	if bins == 0 {
+		return out
+	}
+	w := 2.0 / float64(bins)
+	for i := range sp.X {
+		v := math.Sqrt(sp.VX[i]*sp.VX[i] + sp.VY[i]*sp.VY[i] + sp.VZ[i]*sp.VZ[i])
+		if v == 0 {
+			continue
+		}
+		c := sp.VX[i] / v
+		b := int((c + 1) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[b]++
+	}
+	return out
+}
+
+// Checkpoint is a full restorable snapshot of a simulation.
+type Checkpoint struct {
+	Step    int
+	Species []SpeciesState
+}
+
+// SpeciesState is one species' complete particle state.
+type SpeciesState struct {
+	Name   string
+	Mass   float64
+	Charge float64
+	Weight float64
+	X      []float64
+	VX     []float64
+	VY     []float64
+	VZ     []float64
+}
+
+// Snapshot captures the simulation state for checkpointing.
+func (s *Sim) Snapshot() Checkpoint {
+	ck := Checkpoint{Step: s.Step}
+	for _, sp := range s.Species {
+		ck.Species = append(ck.Species, SpeciesState{
+			Name: sp.Name, Mass: sp.Mass, Charge: sp.Charge, Weight: sp.Weight,
+			X:  append([]float64(nil), sp.X...),
+			VX: append([]float64(nil), sp.VX...),
+			VY: append([]float64(nil), sp.VY...),
+			VZ: append([]float64(nil), sp.VZ...),
+		})
+	}
+	return ck
+}
+
+// Restore replaces the simulation state with a checkpoint's.
+func (s *Sim) Restore(ck Checkpoint) {
+	s.Step = ck.Step
+	s.Species = s.Species[:0]
+	for _, st := range ck.Species {
+		s.Species = append(s.Species, &Species{
+			Name: st.Name, Mass: st.Mass, Charge: st.Charge, Weight: st.Weight,
+			X:  append([]float64(nil), st.X...),
+			VX: append([]float64(nil), st.VX...),
+			VY: append([]float64(nil), st.VY...),
+			VZ: append([]float64(nil), st.VZ...),
+		})
+	}
+}

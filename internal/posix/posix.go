@@ -1,0 +1,217 @@
+// Package posix provides the POSIX-flavoured I/O layer the simulated
+// applications program against: file descriptors with read/write/seek/
+// fsync/close on top of a simulated pfs.FileSystem, with an instrumentation
+// hook through which the Darshan module observes every operation — exactly
+// where real Darshan interposes on the POSIX API.
+package posix
+
+import (
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+// Op identifies an instrumented operation.
+type Op int
+
+// Instrumented operation kinds.
+const (
+	OpOpen Op = iota
+	OpCreate
+	OpRead
+	OpWrite
+	OpSeek
+	OpStat
+	OpFsync
+	OpClose
+	OpUnlink
+	OpMkdir
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpCreate:
+		return "create"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSeek:
+		return "seek"
+	case OpStat:
+		return "stat"
+	case OpFsync:
+		return "fsync"
+	case OpClose:
+		return "close"
+	case OpUnlink:
+		return "unlink"
+	case OpMkdir:
+		return "mkdir"
+	}
+	return "op?"
+}
+
+// IsMeta reports whether the operation counts as metadata in the Darshan
+// sense (everything that is neither a data read nor a data write).
+func (o Op) IsMeta() bool { return o != OpRead && o != OpWrite }
+
+// Monitor observes instrumented operations. Implementations must be cheap;
+// they run inline with the simulated operation.
+type Monitor interface {
+	Record(rank int, op Op, path string, bytes int64, start, end sim.Time)
+}
+
+// Env is a per-rank POSIX environment: which file system and node NIC the
+// rank's syscalls go through, and which monitor observes them.
+type Env struct {
+	FS      pfs.FileSystem
+	Client  *pfs.Client
+	Rank    int
+	Monitor Monitor // may be nil
+}
+
+func (e *Env) record(op Op, path string, bytes int64, start, end sim.Time) {
+	if e.Monitor != nil {
+		e.Monitor.Record(e.Rank, op, path, bytes, start, end)
+	}
+}
+
+// FD is an open file descriptor with a position.
+type FD struct {
+	env  *Env
+	f    pfs.File
+	path string
+	off  int64
+}
+
+// Create creates (or truncates) a file and returns a descriptor at offset 0.
+func (e *Env) Create(p *sim.Proc, path string) (*FD, error) {
+	start := p.Now()
+	f, err := e.FS.Create(p, e.Client, path)
+	e.record(OpCreate, path, 0, start, p.Now())
+	if err != nil {
+		return nil, err
+	}
+	return &FD{env: e, f: f, path: pfs.Clean(path)}, nil
+}
+
+// Open opens an existing file at offset 0.
+func (e *Env) Open(p *sim.Proc, path string) (*FD, error) {
+	start := p.Now()
+	f, err := e.FS.Open(p, e.Client, path)
+	e.record(OpOpen, path, 0, start, p.Now())
+	if err != nil {
+		return nil, err
+	}
+	return &FD{env: e, f: f, path: pfs.Clean(path)}, nil
+}
+
+// OpenAppend opens (creating if needed) a file positioned at its end.
+func (e *Env) OpenAppend(p *sim.Proc, path string) (*FD, error) {
+	start := p.Now()
+	f, err := e.FS.OpenAppend(p, e.Client, path)
+	e.record(OpOpen, path, 0, start, p.Now())
+	if err != nil {
+		return nil, err
+	}
+	return &FD{env: e, f: f, path: pfs.Clean(path), off: f.Size()}, nil
+}
+
+// Stat reports file metadata.
+func (e *Env) Stat(p *sim.Proc, path string) (pfs.FileInfo, error) {
+	start := p.Now()
+	fi, err := e.FS.Stat(p, e.Client, path)
+	e.record(OpStat, path, 0, start, p.Now())
+	return fi, err
+}
+
+// Unlink removes a file.
+func (e *Env) Unlink(p *sim.Proc, path string) error {
+	start := p.Now()
+	err := e.FS.Unlink(p, e.Client, path)
+	e.record(OpUnlink, path, 0, start, p.Now())
+	return err
+}
+
+// MkdirAll creates a directory chain.
+func (e *Env) MkdirAll(p *sim.Proc, path string) error {
+	start := p.Now()
+	err := e.FS.MkdirAll(p, e.Client, path)
+	e.record(OpMkdir, path, 0, start, p.Now())
+	return err
+}
+
+// Path reports the path the descriptor was opened with.
+func (fd *FD) Path() string { return fd.path }
+
+// Offset reports the current file position.
+func (fd *FD) Offset() int64 { return fd.off }
+
+// Size reports the current size of the underlying file.
+func (fd *FD) Size() int64 { return fd.f.Size() }
+
+// Write writes n bytes at the current offset and advances it. data may be
+// nil (volume mode) or must have length n.
+func (fd *FD) Write(p *sim.Proc, n int64, data []byte) {
+	fd.Pwrite(p, fd.off, n, data)
+	fd.off += n
+}
+
+// Pwrite writes n bytes at offset off without moving the file position.
+func (fd *FD) Pwrite(p *sim.Proc, off, n int64, data []byte) {
+	start := p.Now()
+	fd.f.WriteAt(p, fd.env.Client, off, n, data)
+	fd.env.record(OpWrite, fd.path, n, start, p.Now())
+}
+
+// Read reads up to n bytes at the current offset and advances it.
+func (fd *FD) Read(p *sim.Proc, n int64) []byte {
+	b := fd.Pread(p, fd.off, n)
+	if rem := fd.f.Size() - fd.off; rem < n {
+		n = rem
+	}
+	if n < 0 {
+		n = 0
+	}
+	fd.off += n
+	return b
+}
+
+// Pread reads up to n bytes at offset off without moving the position.
+func (fd *FD) Pread(p *sim.Proc, off, n int64) []byte {
+	start := p.Now()
+	b := fd.f.ReadAt(p, fd.env.Client, off, n)
+	got := n
+	if rem := fd.f.Size() - off; rem < got {
+		got = rem
+	}
+	if got < 0 {
+		got = 0
+	}
+	fd.env.record(OpRead, fd.path, got, start, p.Now())
+	return b
+}
+
+// Seek sets the absolute file position (SEEK_SET).
+func (fd *FD) Seek(p *sim.Proc, off int64) {
+	start := p.Now()
+	fd.off = off
+	fd.env.record(OpSeek, fd.path, 0, start, p.Now())
+}
+
+// Fsync flushes the file to stable storage.
+func (fd *FD) Fsync(p *sim.Proc) {
+	start := p.Now()
+	fd.f.Sync(p, fd.env.Client)
+	fd.env.record(OpFsync, fd.path, 0, start, p.Now())
+}
+
+// Close closes the descriptor.
+func (fd *FD) Close(p *sim.Proc) {
+	start := p.Now()
+	fd.f.Close(p, fd.env.Client)
+	fd.env.record(OpClose, fd.path, 0, start, p.Now())
+}

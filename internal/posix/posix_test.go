@@ -1,0 +1,140 @@
+package posix
+
+import (
+	"testing"
+
+	"picmcio/internal/lustre"
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+type opLog struct {
+	ops   []Op
+	bytes []int64
+}
+
+func (m *opLog) Record(rank int, op Op, path string, bytes int64, start, end sim.Time) {
+	m.ops = append(m.ops, op)
+	m.bytes = append(m.bytes, bytes)
+}
+
+func newEnv(t *testing.T) (*sim.Kernel, *Env, *opLog) {
+	t.Helper()
+	k := sim.NewKernel()
+	fs := lustre.New(k, lustre.DefaultParams())
+	mon := &opLog{}
+	return k, &Env{FS: fs, Client: &pfs.Client{}, Rank: 0, Monitor: mon}, mon
+}
+
+func TestWriteAdvancesOffset(t *testing.T) {
+	k, env, _ := newEnv(t)
+	k.Spawn("r", func(p *sim.Proc) {
+		fd, err := env.Create(p, "/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fd.Write(p, 100, nil)
+		fd.Write(p, 50, nil)
+		if fd.Offset() != 150 {
+			t.Errorf("offset=%d, want 150", fd.Offset())
+		}
+		if fd.Size() != 150 {
+			t.Errorf("size=%d, want 150", fd.Size())
+		}
+		fd.Close(p)
+	})
+	k.Run()
+}
+
+func TestPwriteDoesNotMoveOffset(t *testing.T) {
+	k, env, _ := newEnv(t)
+	k.Spawn("r", func(p *sim.Proc) {
+		fd, _ := env.Create(p, "/f")
+		fd.Pwrite(p, 1000, 10, nil)
+		if fd.Offset() != 0 {
+			t.Errorf("offset moved to %d", fd.Offset())
+		}
+		if fd.Size() != 1010 {
+			t.Errorf("size=%d", fd.Size())
+		}
+		fd.Close(p)
+	})
+	k.Run()
+}
+
+func TestOpenAppendPositionsAtEnd(t *testing.T) {
+	k, env, _ := newEnv(t)
+	k.Spawn("r", func(p *sim.Proc) {
+		fd, _ := env.Create(p, "/log")
+		fd.Write(p, 64, nil)
+		fd.Close(p)
+		fd2, err := env.OpenAppend(p, "/log")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if fd2.Offset() != 64 {
+			t.Errorf("append offset=%d, want 64", fd2.Offset())
+		}
+		fd2.Write(p, 64, nil)
+		fd2.Close(p)
+		fi, _ := env.Stat(p, "/log")
+		if fi.Size != 128 {
+			t.Errorf("size=%d, want 128", fi.Size)
+		}
+	})
+	k.Run()
+}
+
+func TestReadClipsAtEOF(t *testing.T) {
+	k, env, _ := newEnv(t)
+	k.Spawn("r", func(p *sim.Proc) {
+		fd, _ := env.Create(p, "/f")
+		fd.Write(p, 10, []byte("0123456789"))
+		fd.Seek(p, 5)
+		got := fd.Read(p, 100)
+		if string(got) != "56789" {
+			t.Errorf("read %q", got)
+		}
+		if fd.Offset() != 10 {
+			t.Errorf("offset=%d, want 10 (clipped)", fd.Offset())
+		}
+		fd.Close(p)
+	})
+	k.Run()
+}
+
+func TestMonitorSeesEveryOp(t *testing.T) {
+	k, env, mon := newEnv(t)
+	k.Spawn("r", func(p *sim.Proc) {
+		env.MkdirAll(p, "/d")
+		fd, _ := env.Create(p, "/d/f")
+		fd.Write(p, 8, nil)
+		fd.Fsync(p)
+		fd.Close(p)
+		env.Stat(p, "/d/f")
+		env.Unlink(p, "/d/f")
+	})
+	k.Run()
+	want := []Op{OpMkdir, OpCreate, OpWrite, OpFsync, OpClose, OpStat, OpUnlink}
+	if len(mon.ops) != len(want) {
+		t.Fatalf("ops=%v", mon.ops)
+	}
+	for i, op := range want {
+		if mon.ops[i] != op {
+			t.Fatalf("op %d = %v, want %v", i, mon.ops[i], op)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if OpWrite.IsMeta() || OpRead.IsMeta() {
+		t.Fatal("read/write misclassified as metadata")
+	}
+	for _, op := range []Op{OpOpen, OpCreate, OpSeek, OpStat, OpFsync, OpClose, OpUnlink, OpMkdir} {
+		if !op.IsMeta() {
+			t.Fatalf("%v should be metadata", op)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Processes are goroutines that advance a shared virtual clock by sleeping
+// or by blocking on simulated resources. Exactly one process runs at a time;
+// the kernel hands control to the process whose next event is earliest,
+// breaking ties by event sequence number, so runs are bit-reproducible.
+//
+// The kernel is the substrate for the simulated MPI runtime and the
+// simulated parallel file systems: storage devices are modeled as FCFS
+// bandwidth/latency servers (see Server and MultiServer) and rank programs
+// are ordinary Go code executed inside processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is a point in virtual time, in seconds since the start of the run.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Infinity is a time later than any event the kernel will ever schedule.
+const Infinity Time = math.MaxFloat64
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at  Time
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Kernel owns the virtual clock and the event queue.
+// The zero value is not usable; create kernels with NewKernel.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	live   int // processes spawned and not yet finished
+
+	yield  chan yieldMsg // processes signal the scheduler here
+	panics []any         // panics propagated out of processes
+}
+
+type yieldKind int
+
+const (
+	yieldSleep yieldKind = iota // process scheduled its own resumption
+	yieldPark                   // process blocks until someone wakes it
+	yieldDone                   // process finished
+	yieldPanic                  // process panicked
+)
+
+type yieldMsg struct {
+	kind yieldKind
+	val  any // panic value for yieldPanic
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan yieldMsg)}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Proc is a simulated process. Methods on Proc must only be called from
+// inside the process's own goroutine (the function passed to Spawn).
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	parked bool
+	done   bool
+}
+
+// Name reports the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process and schedules it to start at the current virtual
+// time. The function fn runs in its own goroutine but is only ever executed
+// while the kernel has handed it control.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	k.schedule(k.now, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				k.yield <- yieldMsg{kind: yieldPanic, val: fmt.Sprintf("sim: process %q panicked: %v", p.name, r)}
+				return
+			}
+			p.done = true
+			k.yield <- yieldMsg{kind: yieldDone}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// SpawnAt is like Spawn but delays the start of the process to time at,
+// which must not be earlier than the current virtual time.
+func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	if at < k.now {
+		panic("sim: SpawnAt in the past")
+	}
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	k.schedule(at, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				k.yield <- yieldMsg{kind: yieldPanic, val: fmt.Sprintf("sim: process %q panicked: %v", p.name, r)}
+				return
+			}
+			p.done = true
+			k.yield <- yieldMsg{kind: yieldDone}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+func (k *Kernel) schedule(at Time, p *Proc) {
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, p: p})
+}
+
+// Run drives the simulation until no events remain. It returns the final
+// virtual time. If any process panicked, Run panics with the first such
+// panic value after the event queue drains or immediately on detection.
+func (k *Kernel) Run() Time {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		if e.p.done {
+			continue // stale wake of a finished process
+		}
+		if e.at < k.now {
+			panic("sim: event queue went backwards")
+		}
+		k.now = e.at
+		e.p.parked = false
+		e.p.resume <- struct{}{}
+		msg := <-k.yield
+		switch msg.kind {
+		case yieldDone:
+			k.live--
+		case yieldPanic:
+			panic(msg.val)
+		case yieldPark, yieldSleep:
+			// nothing: either a future event exists (sleep) or another
+			// process is responsible for waking it (park).
+		}
+	}
+	if k.live > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events at t=%v", k.live, k.now))
+	}
+	return k.now
+}
+
+// Sleep suspends the process for d seconds of virtual time.
+// Negative durations are treated as zero.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.k.now + d)
+}
+
+// SleepUntil suspends the process until virtual time t. Times in the past
+// are treated as "now" (the process still yields, giving other processes
+// scheduled at the same instant a chance to run in seq order).
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.k.now {
+		t = p.k.now
+	}
+	p.k.schedule(t, p)
+	p.k.yield <- yieldMsg{kind: yieldSleep}
+	<-p.resume
+}
+
+// Yield lets other processes scheduled at the current instant run first.
+func (p *Proc) Yield() { p.SleepUntil(p.k.now) }
+
+// Park suspends the process indefinitely; some other process must call
+// Wake (or WakeAt) to resume it. Parking with no eventual waker is a
+// deadlock, which Run reports.
+func (p *Proc) Park() {
+	p.parked = true
+	p.k.yield <- yieldMsg{kind: yieldPark}
+	<-p.resume
+}
+
+// Wake schedules parked process q to resume at the current virtual time.
+// It must be called from within a running process or before Run.
+func (k *Kernel) Wake(q *Proc) { k.WakeAt(k.now, q) }
+
+// WakeAt schedules parked process q to resume at time t >= now.
+func (k *Kernel) WakeAt(t Time, q *Proc) {
+	if t < k.now {
+		t = k.now
+	}
+	if q.done {
+		return
+	}
+	k.schedule(t, q)
+}
+
+// WaitGroup-style helper: Condition is a simple broadcast condition for
+// processes. Waiters park; Broadcast wakes all current waiters.
+type Condition struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCondition returns a condition bound to kernel k.
+func NewCondition(k *Kernel) *Condition { return &Condition{k: k} }
+
+// Wait parks the calling process until the next Broadcast.
+func (c *Condition) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.Park()
+}
+
+// Broadcast wakes every currently waiting process, in wait order.
+func (c *Condition) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.k.Wake(w)
+	}
+}
+
+// Len reports the number of parked waiters.
+func (c *Condition) Len() int { return len(c.waiters) }
+
+// SortProcsByName sorts a slice of processes by name; useful for
+// deterministic bookkeeping in higher layers.
+func SortProcsByName(ps []*Proc) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].name < ps[j].name })
+}

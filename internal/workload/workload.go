@@ -1,0 +1,124 @@
+// Package workload defines the I/O payload sizing model of the paper's
+// BIT1 use case (§III-C: 100K cells, three species, 30M particles, 200K
+// steps) and generates representative particle payloads for measuring real
+// compression ratios.
+//
+// Sizing is calibrated against Table II of the paper: the checkpoint
+// snapshot (.dmp / openPMD iteration 0) carries the bulk of the data and
+// scales as total/ranks per rank; the diagnostic snapshot (.dat) is small;
+// BP4 metadata grows linearly with ranks × epochs.
+package workload
+
+import (
+	"math"
+
+	"picmcio/internal/units"
+	"picmcio/internal/xrand"
+)
+
+// Sizing holds the calibrated byte model.
+type Sizing struct {
+	// CheckpointTotalBytes is the global size of one system-state
+	// snapshot (sum over ranks). Table II: ~476 MiB at 1 node.
+	CheckpointTotalBytes int64
+	// DiagSnapshotTotalBytes is the global size of one diagnostic
+	// snapshot (plasma profiles + distribution functions).
+	DiagSnapshotTotalBytes int64
+	// NVars is the number of openPMD record components the snapshot is
+	// spread across (species × records).
+	NVars int
+	// SharedFilesOriginal is the count of rank-0 global files in the
+	// original I/O mode (time histories, logs): Table II shows
+	// 2·ranks + 6 files.
+	SharedFilesOriginal int
+	// SharedFilesOpenPMD is the count of rank-0 plain files kept in
+	// openPMD mode (log + history): Table II shows nAgg + 5 files,
+	// of which nAgg+3 live in the .bp4 directory.
+	SharedFilesOpenPMD int
+	// SharedFileBytes is the per-epoch append size of each shared file.
+	SharedFileBytes int64
+	// StdioChunk is the effective flush granularity of BIT1's formatted
+	// stdio output (fprintf of ASCII rows ≈ line-buffered).
+	StdioChunk int64
+	// HeaderBytes is the fixed per-file header the original writer emits.
+	HeaderBytes int64
+}
+
+// Default returns the Table II calibration.
+func Default() Sizing {
+	return Sizing{
+		CheckpointTotalBytes:   478 * units.MiB,
+		DiagSnapshotTotalBytes: 8 * units.MiB,
+		NVars:                  10,
+		SharedFilesOriginal:    6,
+		SharedFilesOpenPMD:     2,
+		SharedFileBytes:        128,
+		StdioChunk:             4096,
+		HeaderBytes:            256,
+	}
+}
+
+// PerRankCheckpoint reports one rank's checkpoint bytes at the given
+// total rank count.
+func (s Sizing) PerRankCheckpoint(ranks int) int64 {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return s.CheckpointTotalBytes/int64(ranks) + s.HeaderBytes
+}
+
+// PerRankDiag reports one rank's diagnostic snapshot bytes.
+func (s Sizing) PerRankDiag(ranks int) int64 {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return s.DiagSnapshotTotalBytes/int64(ranks) + s.HeaderBytes
+}
+
+// PerRankSnapshotElems reports one rank's openPMD snapshot as float64
+// element counts per record component (checkpoint + diagnostics spread
+// over NVars components).
+func (s Sizing) PerRankSnapshotElems(ranks int) []int64 {
+	total := (s.PerRankCheckpoint(ranks) + s.PerRankDiag(ranks)) / 8
+	out := make([]int64, s.NVars)
+	each := total / int64(s.NVars)
+	if each < 1 {
+		each = 1
+	}
+	for i := range out {
+		out[i] = each
+	}
+	return out
+}
+
+// SamplePayload synthesizes a particle-like float64 buffer (positions
+// drifting smoothly, Maxwellian velocities) used to measure the real
+// compression ratio that volume-mode runs then assume.
+func SamplePayload(n int, seed uint64) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	x := 0.0
+	for i := range out {
+		switch i % 4 {
+		case 0: // position: smooth drift
+			x += 0.001 + 1e-5*rng.NormFloat64()
+			out[i] = x
+		default: // velocity components: thermal
+			out[i] = 1.38e5 * rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// Float64sToBytes packs values little-endian, matching the BP payload
+// encoding, for ratio measurements.
+func Float64sToBytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		bits := math.Float64bits(v)
+		for b := 0; b < 8; b++ {
+			out[8*i+b] = byte(bits >> (8 * b))
+		}
+	}
+	return out
+}

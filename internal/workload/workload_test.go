@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"picmcio/internal/units"
+)
+
+func TestPerRankScaling(t *testing.T) {
+	s := Default()
+	// Per-rank checkpoint at 128 ranks should be ~3.7 MiB (Table II max
+	// file size at 1 node), and at 25600 ranks ~19 KiB.
+	at128 := s.PerRankCheckpoint(128)
+	if at128 < 3*units.MiB || at128 > 4*units.MiB {
+		t.Fatalf("checkpoint/rank @128 = %s", units.Bytes(at128))
+	}
+	at25600 := s.PerRankCheckpoint(25600)
+	if at25600 < 15*units.KiB || at25600 > 25*units.KiB {
+		t.Fatalf("checkpoint/rank @25600 = %s", units.Bytes(at25600))
+	}
+}
+
+func TestPerRankMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw%25000)+1, int(bRaw%25000)+1
+		if a > b {
+			a, b = b, a
+		}
+		s := Default()
+		return s.PerRankCheckpoint(a) >= s.PerRankCheckpoint(b) &&
+			s.PerRankDiag(a) >= s.PerRankDiag(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotElemsCoverVolume(t *testing.T) {
+	s := Default()
+	for _, ranks := range []int{1, 128, 25600} {
+		elems := s.PerRankSnapshotElems(ranks)
+		if len(elems) != s.NVars {
+			t.Fatalf("vars=%d", len(elems))
+		}
+		var total int64
+		for _, e := range elems {
+			if e < 1 {
+				t.Fatalf("empty component at %d ranks", ranks)
+			}
+			total += e * 8
+		}
+		want := s.PerRankCheckpoint(ranks) + s.PerRankDiag(ranks)
+		if total > want || total < want-want/5-8*int64(s.NVars) {
+			t.Fatalf("ranks=%d: snapshot %d bytes, budget %d", ranks, total, want)
+		}
+	}
+}
+
+func TestDegenerateRanks(t *testing.T) {
+	s := Default()
+	if s.PerRankCheckpoint(0) != s.PerRankCheckpoint(1) {
+		t.Fatal("rank clamp broken")
+	}
+}
+
+func TestSamplePayloadDeterministic(t *testing.T) {
+	a := SamplePayload(1000, 7)
+	b := SamplePayload(1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("payload not deterministic")
+		}
+	}
+	c := SamplePayload(1000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds too similar: %d identical values", same)
+	}
+}
+
+func TestFloat64sToBytes(t *testing.T) {
+	b := Float64sToBytes([]float64{1.0})
+	if len(b) != 8 {
+		t.Fatalf("len=%d", len(b))
+	}
+	// 1.0 = 0x3FF0000000000000 little-endian.
+	if b[7] != 0x3f || b[6] != 0xf0 || b[0] != 0 {
+		t.Fatalf("encoding=%x", b)
+	}
+}
