@@ -158,6 +158,40 @@ func BenchmarkFig8MemcpyProfile(b *testing.B) {
 	}
 }
 
+// BenchmarkBurstBuffer measures the burst-buffer staging tier (the
+// post-paper scenario axis): staged writes must raise apparent client
+// throughput above direct PFS writes, with the asynchronous drain
+// overlapping compute.
+func BenchmarkBurstBuffer(b *testing.B) {
+	o := benchOptions()
+	o.NodeCounts = []int{1, 10}
+	for i := 0; i < b.N; i++ {
+		benchBurstBuffer(b, o)
+	}
+}
+
+// benchBurstBuffer is one iteration of the burst-buffer benchmark.
+func benchBurstBuffer(b *testing.B, o experiments.Options) {
+	_, pts, err := o.FigBurst()
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.DirectGiBs, "direct_GiBps")
+	b.ReportMetric(last.StagedGiBs, "staged_GiBps")
+	b.ReportMetric(last.DrainSec, "drain_s")
+	b.ReportMetric(100*last.OverlapFrac, "drain_overlap_pct")
+	for _, pt := range pts {
+		if pt.StagedGiBs <= pt.DirectGiBs {
+			b.Fatalf("staged writes must beat direct PFS writes (%d nodes: %.3f vs %.3f GiB/s)",
+				pt.Nodes, pt.StagedGiBs, pt.DirectGiBs)
+		}
+	}
+	if last.DrainSec <= 0 || last.OverlapFrac <= 0 {
+		b.Fatal("drain must run and overlap compute")
+	}
+}
+
 // BenchmarkTab2FileCounts regenerates the Table II file accounting.
 func BenchmarkTab2FileCounts(b *testing.B) {
 	o := benchOptions()

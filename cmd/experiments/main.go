@@ -21,18 +21,20 @@ import (
 )
 
 func main() {
-	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,tab1,tab2,lst1,all")
+	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,figburst,tab1,tab2,lst1,all")
 	nodes := flag.Int("nodes", 200, "node count for fixed-scale artifacts (fig5, fig6, fig8, fig9)")
 	nodeList := flag.String("node-list", "", "comma-separated node counts for scaling artifacts (default: paper set)")
 	ranksPerNode := flag.Int("ranks-per-node", 128, "MPI ranks per node")
 	diagEpochs := flag.Int("diag-epochs", 5, "simulated diagnostic epochs (paper run: 200)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	burstPolicy := flag.String("burst-policy", "", "figburst drain policy override: immediate, watermark, epoch-end")
 	flag.Parse()
 
 	o := experiments.Options{
 		Seed:         *seed,
 		RanksPerNode: *ranksPerNode,
 		DiagEpochs:   *diagEpochs,
+		BurstPolicy:  *burstPolicy,
 	}
 	if *nodeList != "" {
 		for _, part := range strings.Split(*nodeList, ",") {
@@ -47,7 +49,7 @@ func main() {
 
 	artifacts := strings.Split(*runWhat, ",")
 	if *runWhat == "all" {
-		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "tab1", "tab2", "lst1"}
+		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figburst", "tab1", "tab2", "lst1"}
 	}
 	for _, a := range artifacts {
 		if err := runArtifact(strings.TrimSpace(a), o, *nodes); err != nil {
@@ -119,6 +121,28 @@ func runArtifact(name string, o experiments.Options, nodes int) error {
 		t, err := o.Fig9(nodes, nil, nil)
 		if err != nil {
 			return err
+		}
+		fmt.Println(t.Render())
+	case "figburst":
+		ss, pts, err := o.FigBurst()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSeries(
+			"Fig B: direct vs burst-buffer-staged openPMD+BP4 on Dardel (GiB/s)", "nodes", ss))
+		t := experiments.Table{
+			Title:  "Fig B drain accounting (Dardel burst tier)",
+			Header: []string{"nodes", "drain busy", "drain tail", "overlap", "absorbed", "fallback"},
+		}
+		for _, pt := range pts {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(pt.Nodes),
+				units.Seconds(pt.DrainSec),
+				units.Seconds(pt.DrainTailSec),
+				fmt.Sprintf("%.1f%%", 100*pt.OverlapFrac),
+				units.Bytes(pt.AbsorbedBytes),
+				units.Bytes(pt.FallbackBytes),
+			})
 		}
 		fmt.Println(t.Render())
 	case "tab1":

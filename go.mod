@@ -1,0 +1,3 @@
+module picmcio
+
+go 1.24.0

@@ -121,6 +121,10 @@ func (io *IO) Engine() string { return io.engine }
 //	Profile              "on"/"off" — write profiling.json
 //	SimCompressionRatio  ratio to assume for volume-mode payloads
 //	MemRate              marshalling memcpy bandwidth (bytes/s)
+//	BurstBuffer          "on"/"true" — stage I/O through the host
+//	                     environment's burst-buffer tier, if attached
+//	BurstDurability      "buffered" (default) or "pfs" — whether EndStep
+//	                     returns at buffered or PFS durability
 func (io *IO) SetParameter(k, v string) { io.params[k] = v }
 
 // Parameter reads back a parameter with a default.
@@ -242,11 +246,27 @@ type Host struct {
 	Comm *mpisim.Comm
 }
 
+// paramOn reports whether a parameter holds an affirmative value.
+func paramOn(v string) bool {
+	switch v {
+	case "on", "true", "1", "yes":
+		return true
+	}
+	return false
+}
+
 // Open creates an engine for path in the given mode. Every rank of the
-// communicator must call Open collectively for write mode.
+// communicator must call Open collectively for write mode. With the
+// BurstBuffer parameter on and a staging tier attached to the host
+// environment, all engine I/O (write and read) goes through the tier.
 func (io *IO) Open(h Host, path string, mode Mode) (*Engine, error) {
 	if h.Proc == nil || h.Env == nil || h.Comm == nil {
 		return nil, fmt.Errorf("adios2: incomplete host")
+	}
+	if paramOn(io.Parameter("BurstBuffer", "off")) {
+		if st := h.Env.Staged(); st != nil {
+			h.Env = st
+		}
 	}
 	switch mode {
 	case ModeWrite:

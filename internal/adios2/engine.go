@@ -79,11 +79,12 @@ type Engine struct {
 	mdFD   *posix.FD // world rank 0 only
 	idxFD  *posix.FD // world rank 0 only
 
-	codec    compress.Codec
-	cost     compress.CostModel
-	volRatio float64
-	memRate  float64
-	profile  bool
+	codec      compress.Codec
+	cost       compress.CostModel
+	volRatio   float64
+	memRate    float64
+	profile    bool
+	pfsDurable bool // EndStep blocks until staged writes are PFS-durable
 
 	puts      []putRec
 	inStep    bool
@@ -100,14 +101,15 @@ type Engine struct {
 // openWriter opens path for collective writing.
 func openWriter(io *IO, h Host, path string) (*Engine, error) {
 	e := &Engine{
-		io:      io,
-		h:       h,
-		path:    pfs.Clean(path),
-		mode:    ModeWrite,
-		memRate: io.floatParam("MemRate", 8e9),
-		profile: io.Parameter("Profile", "on") == "on",
-		steps:   map[int64]stepLoc{},
-		curStep: -1,
+		io:         io,
+		h:          h,
+		path:       pfs.Clean(path),
+		mode:       ModeWrite,
+		memRate:    io.floatParam("MemRate", 8e9),
+		profile:    io.Parameter("Profile", "on") == "on",
+		pfsDurable: io.Parameter("BurstDurability", "buffered") == "pfs",
+		steps:      map[int64]stepLoc{},
+		curStep:    -1,
 	}
 	size := h.Comm.Size()
 	e.nAgg = io.intParam("NumAggregators", size)
@@ -412,6 +414,24 @@ func (e *Engine) EndStep() error {
 			e.idxFD.Write(p, idxRecordBytes, idx[:])
 			e.Timers.Meta += p.Now() - tm0
 		}
+	}
+
+	// Burst staging: at step close, nudge the tier's drain scheduler so
+	// buffered epoch data starts flowing to the PFS in the background. If
+	// PFS durability was requested, the writers fsync first — on a staged
+	// file that forces the drain and blocks until write-back completes,
+	// so the step is PFS-durable before EndStep returns.
+	if st, ok := e.h.Env.FS.(pfs.Stager); ok {
+		if e.pfsDurable {
+			if e.isAgg && e.dataFD != nil {
+				e.dataFD.Fsync(p)
+			}
+			if comm.Rank() == 0 {
+				e.mdFD.Fsync(p)
+				e.idxFD.Fsync(p)
+			}
+		}
+		st.DrainEpoch(p)
 	}
 
 	comm.Barrier()

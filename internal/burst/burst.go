@@ -1,0 +1,581 @@
+// Package burst models a node-local burst-buffer staging tier: per-node
+// NVMe devices (capacity + bandwidth as sim.Servers) absorb client writes
+// at local speed and drain them asynchronously to a backing parallel file
+// system through a pluggable drain scheduler.
+//
+// The tier is exposed as a pfs.FileSystem wrapper (Tier.FS), so every
+// layer that programs against pfs — POSIX descriptors, the ADIOS2 BP
+// engine, stdio — can stage transparently. Metadata operations pass
+// through to the backing store at full cost (burst buffers absorb data,
+// not metadata); data writes are absorbed locally and become pending
+// write-back segments. Completion is tracked at two durability levels:
+//
+//   - buffered-durable: the client write returned (data is on node-local
+//     NVMe) — the fast path checkpoints take by default;
+//   - PFS-durable: the drain scheduler has written the segment back to
+//     the parallel file system (file Sync, or Tier.WaitDrained, blocks
+//     until this point).
+//
+// Reads and Syncs of a file with pending segments force a drain and wait,
+// so staged data is never observed stale. When a node's buffer fills,
+// writes fall back to direct PFS-rate I/O for the overflow; a
+// zero-capacity Spec degrades to direct I/O entirely.
+package burst
+
+import (
+	"fmt"
+
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+// Policy selects when buffered data drains to the backing store.
+type Policy int
+
+const (
+	// PolicyImmediate starts draining as soon as data is buffered,
+	// maximizing overlap with compute.
+	PolicyImmediate Policy = iota
+	// PolicyWatermark starts draining when a node's buffer use passes the
+	// high watermark and stops once it falls below the low watermark,
+	// batching write-back into few large bursts.
+	PolicyWatermark
+	// PolicyEpochEnd drains only when nudged (DrainEpoch, at ADIOS2 step
+	// close) or forced (Sync, read, WaitDrained), keeping the PFS idle
+	// during an output epoch.
+	PolicyEpochEnd
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyImmediate:
+		return "immediate"
+	case PolicyWatermark:
+		return "watermark"
+	case PolicyEpochEnd:
+		return "epoch-end"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps a configuration string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "immediate":
+		return PolicyImmediate, nil
+	case "watermark":
+		return PolicyWatermark, nil
+	case "epoch-end", "epochend":
+		return PolicyEpochEnd, nil
+	}
+	return 0, fmt.Errorf("burst: unknown drain policy %q", s)
+}
+
+// Spec sizes one node's burst buffer. The zero value means "no burst
+// buffer" (Enabled reports false and the tier passes through).
+type Spec struct {
+	CapacityBytes int64        // per-node buffer capacity; <=0 disables
+	Rate          float64      // absorb bandwidth, bytes/second
+	PerOp         sim.Duration // fixed cost per buffered write
+	DrainRate     float64      // drain-side bandwidth cap; 0 = PFS-limited
+	Policy        Policy
+	HighWater     float64 // watermark start fraction (default 0.7)
+	LowWater      float64 // watermark stop fraction (default 0.3)
+}
+
+// Enabled reports whether the spec describes an actual buffer.
+func (s Spec) Enabled() bool { return s.CapacityBytes > 0 }
+
+func (s Spec) withDefaults() Spec {
+	if s.HighWater <= 0 || s.HighWater > 1 {
+		s.HighWater = 0.7
+	}
+	if s.LowWater <= 0 || s.LowWater >= s.HighWater {
+		s.LowWater = s.HighWater / 2
+	}
+	return s
+}
+
+// Stats is the tier's cumulative accounting.
+type Stats struct {
+	AbsorbedBytes int64    // written buffered-durable at local speed
+	FallbackBytes int64    // overflowed to direct PFS writes (buffer full)
+	DrainedBytes  int64    // written back, now PFS-durable
+	DrainOps      int64    // backing write-back operations issued
+	DrainBusySec  float64  // cumulative drain-worker busy time
+	LastDrainEnd  sim.Time // when the most recent segment became PFS-durable
+	MaxUsedBytes  int64    // peak buffer occupancy on any node
+	PendingBytes  int64    // still buffered, not yet PFS-durable
+}
+
+// segment is one pending write-back unit.
+type segment struct {
+	st   *fileState
+	off  int64
+	n    int64
+	data []byte // nil in volume mode
+}
+
+// fileState is the shared per-path staging record: all open handles of a
+// path, and the drain scheduler, see the same pending/size bookkeeping.
+type fileState struct {
+	path         string
+	backing      pfs.File
+	size         int64 // logical size including buffered-but-undrained writes
+	pending      int64 // undrained bytes
+	refs         int   // open wrapper handles
+	closeOnDrain bool
+	drained      *sim.Completion // armed while a process waits for PFS durability
+}
+
+// nodeState is one node's device and drain queue.
+type nodeState struct {
+	id       int
+	dev      *sim.Server // absorb-side NVMe pipe
+	drainDev *sim.Server // drain-side cap; nil when uncapped
+	client   *pfs.Client // client the drain worker issues backing I/O through
+	used     int64
+	queue    []*segment
+	draining bool
+	force    bool // drain past the low watermark (flush requested)
+
+	inFlight bool // worker is mid-segment; segStart is its begin time
+	segStart sim.Time
+}
+
+// Tier is a burst-buffer staging tier over a backing file system.
+type Tier struct {
+	k       *sim.Kernel
+	spec    Spec
+	backing pfs.FileSystem
+	fs      *FS
+	nodes   map[int]*nodeState
+	order   []*nodeState // deterministic iteration order (creation order)
+	files   map[string]*fileState
+	pending *sim.Gauge // total undrained bytes, for WaitDrained
+	stats   Stats
+}
+
+// NewTier creates a staging tier on kernel k over the backing file system.
+func NewTier(k *sim.Kernel, spec Spec, backing pfs.FileSystem) *Tier {
+	t := &Tier{
+		k:       k,
+		spec:    spec.withDefaults(),
+		backing: backing,
+		nodes:   map[int]*nodeState{},
+		files:   map[string]*fileState{},
+		pending: sim.NewGauge(k),
+	}
+	t.fs = &FS{t: t}
+	return t
+}
+
+// Spec reports the tier's per-node buffer spec.
+func (t *Tier) Spec() Spec { return t.spec }
+
+// FS returns the staging file system: writes through it are absorbed by
+// the node-local buffer and drained in the background.
+func (t *Tier) FS() pfs.FileSystem { return t.fs }
+
+// Backing returns the wrapped parallel file system.
+func (t *Tier) Backing() pfs.FileSystem { return t.backing }
+
+// Stats reports the tier's cumulative accounting. Busy time includes the
+// elapsed part of any segment currently in flight, so a mid-run snapshot
+// (e.g. "how much drain work overlapped the app") sees partial progress
+// instead of quantizing to whole segments.
+func (t *Tier) Stats() Stats {
+	s := t.stats
+	s.PendingBytes = t.pending.Value()
+	for _, ns := range t.order {
+		if ns.inFlight {
+			s.DrainBusySec += float64(t.k.Now() - ns.segStart)
+		}
+	}
+	return s
+}
+
+// node returns (creating on first use) the buffer state of the client's
+// node. The first client seen for a node supplies the NIC drain traffic
+// shares with foreground I/O.
+func (t *Tier) node(c *pfs.Client) *nodeState {
+	id := 0
+	if c != nil {
+		id = c.Node
+	}
+	ns, ok := t.nodes[id]
+	if !ok {
+		ns = &nodeState{id: id, dev: sim.NewServer(t.k, t.spec.Rate, t.spec.PerOp)}
+		if t.spec.DrainRate > 0 {
+			ns.drainDev = sim.NewServer(t.k, t.spec.DrainRate, 0)
+		}
+		t.nodes[id] = ns
+		t.order = append(t.order, ns)
+	}
+	if ns.client == nil {
+		ns.client = c
+	}
+	return ns
+}
+
+// state returns (creating if needed) the staging record for path, adopting
+// the given backing handle and observing its current size.
+func (t *Tier) state(path string, backing pfs.File) *fileState {
+	p := pfs.Clean(path)
+	st, ok := t.files[p]
+	if !ok {
+		st = &fileState{path: p}
+		t.files[p] = st
+	}
+	st.backing = backing
+	if sz := backing.Size(); sz > st.size {
+		st.size = sz
+	}
+	return st
+}
+
+// cancel discards every queued segment of st (truncate/unlink), releasing
+// buffer capacity and pending accounting, and completes a deferred close
+// the drain worker would otherwise have issued. A segment already in
+// flight on a drain worker completes against the backing store; with the
+// sim's single-writer usage that window is empty in practice.
+func (t *Tier) cancel(p *sim.Proc, c *pfs.Client, st *fileState) {
+	for _, ns := range t.order {
+		kept := ns.queue[:0]
+		for _, seg := range ns.queue {
+			if seg.st != st {
+				kept = append(kept, seg)
+				continue
+			}
+			ns.used -= seg.n
+			st.pending -= seg.n
+			t.pending.Add(-seg.n)
+		}
+		ns.queue = kept
+	}
+	t.settle(p, c, st)
+}
+
+// settle completes durability waiters and performs the deferred close once
+// a file has no pending segments left. Safe to call at any time.
+func (t *Tier) settle(p *sim.Proc, c *pfs.Client, st *fileState) {
+	if st.pending != 0 {
+		return
+	}
+	if st.drained != nil {
+		st.drained.Complete()
+		st.drained = nil
+	}
+	if st.closeOnDrain && st.refs == 0 {
+		st.closeOnDrain = false
+		st.backing.Close(p, c)
+	}
+}
+
+// forceDrainAll starts a drain worker on every node with queued segments,
+// draining fully regardless of watermark state.
+func (t *Tier) forceDrainAll() {
+	for _, ns := range t.order {
+		if len(ns.queue) > 0 {
+			ns.force = true
+			t.ensureDrainer(ns)
+		}
+	}
+}
+
+// DrainEpoch is the epoch-close nudge (pfs.Stager): under PolicyEpochEnd
+// it starts a full drain of every queue. Under the other policies it is a
+// no-op — immediate drains as data arrives, and watermark batching would
+// be defeated if every step close forced a flush.
+func (t *Tier) DrainEpoch(_ *sim.Proc) {
+	if t.spec.Policy != PolicyEpochEnd {
+		return
+	}
+	t.forceDrainAll()
+}
+
+// WaitDrained forces a full drain (whatever the policy) and parks p until
+// every buffered byte is PFS-durable.
+func (t *Tier) WaitDrained(p *sim.Proc) {
+	t.forceDrainAll()
+	t.pending.WaitZero(p)
+}
+
+// ensureDrainer spawns a background drain worker for the node unless one
+// is already running or there is nothing to drain. Workers are on-demand
+// processes: they exit when their stop condition holds, so an idle tier
+// leaves no parked processes behind.
+func (t *Tier) ensureDrainer(ns *nodeState) {
+	if ns.draining || len(ns.queue) == 0 {
+		return
+	}
+	ns.draining = true
+	t.k.Spawn(fmt.Sprintf("burst.drain.%d", ns.id), func(p *sim.Proc) { t.drain(p, ns) })
+}
+
+// drain is the worker body: pop segments FIFO and write them back through
+// the node's drain path, stopping at the policy's stop condition.
+func (t *Tier) drain(p *sim.Proc, ns *nodeState) {
+	for len(ns.queue) > 0 {
+		if t.spec.Policy == PolicyWatermark && !ns.force &&
+			float64(ns.used) <= t.spec.LowWater*float64(t.spec.CapacityBytes) {
+			break
+		}
+		seg := ns.queue[0]
+		ns.queue = ns.queue[1:]
+		t0 := p.Now()
+		ns.inFlight, ns.segStart = true, t0
+		var devEnd sim.Time
+		if ns.drainDev != nil {
+			devEnd = ns.drainDev.Reserve(seg.n)
+		}
+		seg.st.backing.WriteAt(p, ns.client, seg.off, seg.n, seg.data)
+		if devEnd > p.Now() {
+			p.SleepUntil(devEnd)
+		}
+		ns.inFlight = false
+		ns.used -= seg.n
+		seg.st.pending -= seg.n
+		t.stats.DrainedBytes += seg.n
+		t.stats.DrainOps++
+		t.stats.DrainBusySec += float64(p.Now() - t0)
+		t.stats.LastDrainEnd = p.Now()
+		t.settle(p, ns.client, seg.st)
+		t.pending.Add(-seg.n)
+	}
+	if len(ns.queue) == 0 {
+		ns.force = false
+	}
+	ns.draining = false
+}
+
+// FS is the staging tier's pfs.FileSystem face.
+type FS struct {
+	t *Tier
+}
+
+var (
+	_ pfs.FileSystem = (*FS)(nil)
+	_ pfs.Stager     = (*FS)(nil)
+)
+
+// Tier returns the tier behind the staging file system.
+func (f *FS) Tier() *Tier { return f.t }
+
+// Name implements pfs.FileSystem.
+func (f *FS) Name() string { return "burst+" + f.t.backing.Name() }
+
+// DrainEpoch implements pfs.Stager.
+func (f *FS) DrainEpoch(p *sim.Proc) { f.t.DrainEpoch(p) }
+
+// WaitDrained forces a full drain and blocks until PFS durability.
+func (f *FS) WaitDrained(p *sim.Proc) { f.t.WaitDrained(p) }
+
+// wrap stages a freshly opened backing handle, or returns it unwrapped
+// when the tier is disabled (zero capacity degrades to direct I/O).
+func (f *FS) wrap(bf pfs.File, err error, path string) (pfs.File, error) {
+	if err != nil {
+		return nil, err
+	}
+	if !f.t.spec.Enabled() {
+		return bf, nil
+	}
+	st := f.t.state(path, bf)
+	st.refs++
+	st.closeOnDrain = false
+	return &file{t: f.t, st: st}, nil
+}
+
+// Create implements pfs.FileSystem: metadata goes to the backing store,
+// and any staged data of a previous incarnation of the path is discarded
+// (truncate semantics).
+func (f *FS) Create(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	if f.t.spec.Enabled() {
+		if st, ok := f.t.files[pfs.Clean(path)]; ok {
+			f.t.cancel(p, c, st)
+			st.size = 0
+		}
+	}
+	bf, err := f.t.backing.Create(p, c, path)
+	return f.wrap(bf, err, path)
+}
+
+// Open implements pfs.FileSystem.
+func (f *FS) Open(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	bf, err := f.t.backing.Open(p, c, path)
+	return f.wrap(bf, err, path)
+}
+
+// OpenAppend implements pfs.FileSystem.
+func (f *FS) OpenAppend(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	bf, err := f.t.backing.OpenAppend(p, c, path)
+	return f.wrap(bf, err, path)
+}
+
+// Stat implements pfs.FileSystem, reporting the logical size (including
+// buffered-but-undrained bytes).
+func (f *FS) Stat(p *sim.Proc, c *pfs.Client, path string) (pfs.FileInfo, error) {
+	fi, err := f.t.backing.Stat(p, c, path)
+	if err != nil {
+		return fi, err
+	}
+	if st, ok := f.t.files[pfs.Clean(path)]; ok && st.size > fi.Size {
+		fi.Size = st.size
+	}
+	return fi, nil
+}
+
+// Unlink implements pfs.FileSystem, discarding staged data for the path.
+func (f *FS) Unlink(p *sim.Proc, c *pfs.Client, path string) error {
+	if st, ok := f.t.files[pfs.Clean(path)]; ok {
+		f.t.cancel(p, c, st)
+		st.size = 0
+		delete(f.t.files, pfs.Clean(path))
+	}
+	return f.t.backing.Unlink(p, c, path)
+}
+
+// MkdirAll implements pfs.FileSystem.
+func (f *FS) MkdirAll(p *sim.Proc, c *pfs.Client, path string) error {
+	return f.t.backing.MkdirAll(p, c, path)
+}
+
+// ReadDir implements pfs.FileSystem. Entry sizes are the backing store's
+// view; a staged file's logical size is visible through Stat.
+func (f *FS) ReadDir(p *sim.Proc, c *pfs.Client, path string) ([]pfs.FileInfo, error) {
+	return f.t.backing.ReadDir(p, c, path)
+}
+
+// file is a staged open file.
+type file struct {
+	t  *Tier
+	st *fileState
+}
+
+var _ pfs.File = (*file)(nil)
+
+// Path implements pfs.File.
+func (f *file) Path() string { return f.st.path }
+
+// Size implements pfs.File: the logical size, counting buffered writes.
+func (f *file) Size() int64 { return f.st.size }
+
+// WriteAt implements pfs.File: absorb what fits into the node buffer at
+// local NVMe speed and enqueue it for write-back; overflow beyond the
+// remaining capacity falls back to a direct PFS-rate write.
+func (f *file) WriteAt(p *sim.Proc, c *pfs.Client, off, n int64, data []byte) {
+	t := f.t
+	ns := t.node(c)
+	free := t.spec.CapacityBytes - ns.used
+	if free < 0 {
+		free = 0
+	}
+	if n > free && f.st.pending > 0 {
+		// Buffer pressure would send part of this write straight to the
+		// backing store while older segments of the same file are still
+		// queued — an older segment must never drain over newer direct
+		// bytes, so drain first (a full buffer stalls the writer anyway).
+		f.waitDrained(p)
+		free = t.spec.CapacityBytes - ns.used
+		if free < 0 {
+			free = 0
+		}
+	}
+	buffered := n
+	if buffered > free {
+		buffered = free
+	}
+	fallback := n - buffered
+	if end := off + n; end > f.st.size {
+		f.st.size = end
+	}
+	var devEnd sim.Time
+	if buffered > 0 {
+		devEnd = ns.dev.Reserve(buffered)
+		var seg *segment
+		if len(ns.queue) > 0 {
+			seg = ns.queue[len(ns.queue)-1]
+		}
+		if data == nil && seg != nil && seg.st == f.st && seg.data == nil && seg.off+seg.n == off {
+			seg.n += buffered // coalesce contiguous volume-mode write-back
+		} else {
+			seg = &segment{st: f.st, off: off, n: buffered}
+			if data != nil {
+				seg.data = append([]byte(nil), data[:buffered]...)
+			}
+			ns.queue = append(ns.queue, seg)
+		}
+		ns.used += buffered
+		if ns.used > t.stats.MaxUsedBytes {
+			t.stats.MaxUsedBytes = ns.used
+		}
+		f.st.pending += buffered
+		t.pending.Add(buffered)
+		t.stats.AbsorbedBytes += buffered
+	}
+	if fallback > 0 {
+		var tail []byte
+		if data != nil {
+			tail = data[buffered:]
+		}
+		t.stats.FallbackBytes += fallback
+		f.st.backing.WriteAt(p, c, off+buffered, fallback, tail)
+	}
+	if devEnd > p.Now() {
+		p.SleepUntil(devEnd)
+	}
+	switch t.spec.Policy {
+	case PolicyImmediate:
+		t.ensureDrainer(ns)
+	case PolicyWatermark:
+		if float64(ns.used) >= t.spec.HighWater*float64(t.spec.CapacityBytes) {
+			t.ensureDrainer(ns)
+		}
+	}
+}
+
+// waitDrained forces a full drain and parks p until this file has no
+// pending segments.
+func (f *file) waitDrained(p *sim.Proc) {
+	t := f.t
+	for f.st.pending > 0 {
+		t.forceDrainAll()
+		if f.st.drained == nil {
+			f.st.drained = sim.NewCompletion(t.k)
+		}
+		f.st.drained.Wait(p)
+	}
+}
+
+// ReadAt implements pfs.File: staged data is drained first so reads never
+// observe a stale backing file.
+func (f *file) ReadAt(p *sim.Proc, c *pfs.Client, off, n int64) []byte {
+	f.waitDrained(p)
+	return f.st.backing.ReadAt(p, c, off, n)
+}
+
+// Sync implements pfs.File: fsync on a staged file means PFS durability —
+// drain everything pending, then sync the backing file.
+func (f *file) Sync(p *sim.Proc, c *pfs.Client) {
+	f.waitDrained(p)
+	f.st.backing.Sync(p, c)
+}
+
+// Close implements pfs.File. With pending segments the backing handle
+// stays open on behalf of the drain worker (write-back cache semantics)
+// and is closed by it after the last segment lands.
+func (f *file) Close(p *sim.Proc, c *pfs.Client) {
+	st := f.st
+	if st.refs > 0 {
+		st.refs--
+	}
+	if st.refs > 0 {
+		return
+	}
+	if st.pending > 0 {
+		st.closeOnDrain = true
+		return
+	}
+	st.backing.Close(p, c)
+}

@@ -1,0 +1,290 @@
+package burst_test
+
+import (
+	"bytes"
+	"testing"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/lustre"
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+const MB = 1 << 20
+
+// rig is a one-node test harness: a Lustre backing store and a burst tier.
+type rig struct {
+	k    *sim.Kernel
+	back *lustre.FS
+	tier *burst.Tier
+	c    *pfs.Client
+}
+
+func newRig(spec burst.Spec) *rig {
+	k := sim.NewKernel()
+	back := lustre.New(k, lustre.DefaultParams())
+	return &rig{
+		k:    k,
+		back: back,
+		tier: burst.NewTier(k, spec, back),
+		c:    &pfs.Client{Node: 0, NIC: sim.NewServer(k, 25e9, 0)},
+	}
+}
+
+// run executes fn in a simulated process and drains the kernel.
+func (r *rig) run(fn func(p *sim.Proc)) sim.Time {
+	r.k.Spawn("test", fn)
+	return r.k.Run()
+}
+
+// directWriteTime measures how long a direct PFS write of n bytes takes.
+func directWriteTime(t *testing.T, n int64) sim.Duration {
+	t.Helper()
+	k := sim.NewKernel()
+	back := lustre.New(k, lustre.DefaultParams())
+	c := &pfs.Client{Node: 0, NIC: sim.NewServer(k, 25e9, 0)}
+	var d sim.Duration
+	k.Spawn("direct", func(p *sim.Proc) {
+		f, err := back.Create(p, c, "/x/f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		t0 := p.Now()
+		f.WriteAt(p, c, 0, n, nil)
+		d = p.Now() - t0
+		f.Close(p, c)
+	})
+	k.Run()
+	return d
+}
+
+func TestZeroCapacityDegradesToDirect(t *testing.T) {
+	r := newRig(burst.Spec{}) // zero spec: no buffer
+	var staged sim.Duration
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := p.Now()
+		f.WriteAt(p, r.c, 0, 8*MB, nil)
+		staged = p.Now() - t0
+		f.Close(p, r.c)
+	})
+	if direct := directWriteTime(t, 8*MB); staged != direct {
+		t.Errorf("zero-capacity write took %v, direct takes %v", staged, direct)
+	}
+	st := r.tier.Stats()
+	if st.AbsorbedBytes != 0 || st.PendingBytes != 0 {
+		t.Errorf("zero-capacity tier buffered data: %+v", st)
+	}
+}
+
+func TestAbsorbAtLocalSpeedThenDrain(t *testing.T) {
+	r := newRig(burst.Spec{CapacityBytes: 256 * MB, Rate: 10e9, Policy: burst.PolicyImmediate})
+	var absorbed sim.Duration
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := p.Now()
+		f.WriteAt(p, r.c, 0, 64*MB, nil)
+		absorbed = p.Now() - t0
+		if got := f.Size(); got != 64*MB {
+			t.Errorf("logical size %d, want %d", got, 64*MB)
+		}
+		f.Close(p, r.c)
+	})
+	if direct := directWriteTime(t, 64*MB); absorbed >= direct/4 {
+		t.Errorf("buffered write took %v, want well under direct %v", absorbed, direct)
+	}
+	st := r.tier.Stats()
+	if st.AbsorbedBytes != 64*MB || st.DrainedBytes != 64*MB || st.PendingBytes != 0 {
+		t.Errorf("drain accounting wrong after Run: %+v", st)
+	}
+	// The backing file is fully written once the kernel drains.
+	n, err := r.back.Namespace().Lookup("/x/f")
+	if err != nil || n.Size != 64*MB {
+		t.Errorf("backing size %v err %v, want %d", n, err, 64*MB)
+	}
+}
+
+func TestCapacityPressureFallsBackToPFS(t *testing.T) {
+	// Epoch-end policy never drains on its own, so the 1 MB buffer fills
+	// and the overflow must go through at PFS rates.
+	r := newRig(burst.Spec{CapacityBytes: 1 * MB, Rate: 10e9, Policy: burst.PolicyEpochEnd})
+	var wrote sim.Duration
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := p.Now()
+		f.WriteAt(p, r.c, 0, 3*MB, nil)
+		wrote = p.Now() - t0
+		st := r.tier.Stats()
+		if st.AbsorbedBytes != 1*MB || st.FallbackBytes != 2*MB {
+			t.Errorf("absorbed %d fallback %d, want 1 MB / 2 MB", st.AbsorbedBytes, st.FallbackBytes)
+		}
+		if f.Size() != 3*MB {
+			t.Errorf("logical size %d, want %d", f.Size(), 3*MB)
+		}
+		r.tier.WaitDrained(p)
+		f.Close(p, r.c)
+	})
+	if direct := directWriteTime(t, 2*MB); wrote < direct {
+		t.Errorf("overflow write took %v, must pay at least the direct cost of 2 MB (%v)", wrote, direct)
+	}
+	n, err := r.back.Namespace().Lookup("/x/f")
+	if err != nil || n.Size != 3*MB {
+		t.Errorf("backing size after WaitDrained: %v err %v, want %d", n, err, 3*MB)
+	}
+}
+
+func TestWatermarkPolicy(t *testing.T) {
+	r := newRig(burst.Spec{
+		CapacityBytes: 10 * MB, Rate: 10e9,
+		Policy: burst.PolicyWatermark, HighWater: 0.5, LowWater: 0.2,
+	})
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 4*MB, nil) // below high watermark: no drain
+		p.Sleep(1.0)
+		if st := r.tier.Stats(); st.DrainedBytes != 0 || st.PendingBytes != 4*MB {
+			t.Errorf("below watermark the tier must not drain: %+v", st)
+		}
+		f.WriteAt(p, r.c, 4*MB, 2*MB, nil) // crosses 5 MB: drain starts
+		p.Sleep(1.0)
+		st := r.tier.Stats()
+		if st.DrainedBytes == 0 {
+			t.Error("crossing the high watermark must start a drain")
+		}
+		if st.PendingBytes > 2*MB {
+			t.Errorf("drain must run down to the low watermark (2 MB), pending %d", st.PendingBytes)
+		}
+		f.Close(p, r.c)
+	})
+}
+
+func TestSyncForcesPFSDurability(t *testing.T) {
+	r := newRig(burst.Spec{CapacityBytes: 64 * MB, Rate: 10e9, Policy: burst.PolicyEpochEnd})
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 16*MB, nil)
+		if n, _ := r.back.Namespace().Lookup("/x/f"); n != nil && n.Size != 0 {
+			t.Errorf("before sync the backing file must be empty, got %d", n.Size)
+		}
+		f.Sync(p, r.c) // fsync == drain + backing sync
+		if n, _ := r.back.Namespace().Lookup("/x/f"); n == nil || n.Size != 16*MB {
+			t.Errorf("after Sync the backing file must hold all 16 MB")
+		}
+		st := r.tier.Stats()
+		if st.PendingBytes != 0 || st.LastDrainEnd > p.Now() {
+			t.Errorf("sync returned before drain completed: %+v at %v", st, p.Now())
+		}
+		f.Close(p, r.c)
+	})
+}
+
+func TestReadWaitsForDrainAndSeesContent(t *testing.T) {
+	r := newRig(burst.Spec{CapacityBytes: 64 * MB, Rate: 10e9, Policy: burst.PolicyEpochEnd})
+	payload := []byte("staged bytes must not be observed stale")
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, int64(len(payload)), payload)
+		got := f.ReadAt(p, r.c, 0, int64(len(payload)))
+		if !bytes.Equal(got, payload) {
+			t.Errorf("read %q, want %q", got, payload)
+		}
+		if st := r.tier.Stats(); st.PendingBytes != 0 {
+			t.Errorf("read must force the drain, pending %d", st.PendingBytes)
+		}
+		f.Close(p, r.c)
+	})
+}
+
+func TestTruncateCancelsPendingSegments(t *testing.T) {
+	r := newRig(burst.Spec{CapacityBytes: 64 * MB, Rate: 10e9, Policy: burst.PolicyEpochEnd})
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 8*MB, nil)
+		f.Close(p, r.c)
+		// Re-create (truncate): the staged 8 MB must be discarded, not
+		// drained into the truncated file later.
+		f2, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := r.tier.Stats(); st.PendingBytes != 0 {
+			t.Errorf("truncate must cancel pending segments, pending %d", st.PendingBytes)
+		}
+		f2.WriteAt(p, r.c, 0, 1*MB, nil)
+		r.tier.WaitDrained(p)
+		f2.Close(p, r.c)
+	})
+	if n, _ := r.back.Namespace().Lookup("/x/f"); n == nil || n.Size != 1*MB {
+		t.Errorf("backing file must hold only the post-truncate write")
+	}
+}
+
+func TestWaitDrainedBarrier(t *testing.T) {
+	r := newRig(burst.Spec{CapacityBytes: 64 * MB, Rate: 10e9, DrainRate: 1e9, Policy: burst.PolicyEpochEnd})
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 32*MB, nil)
+		t0 := p.Now()
+		r.tier.WaitDrained(p)
+		if waited := p.Now() - t0; waited <= 0 {
+			t.Error("WaitDrained must block until write-back completes")
+		}
+		if st := r.tier.Stats(); st.PendingBytes != 0 || st.DrainedBytes != 32*MB {
+			t.Errorf("after WaitDrained: %+v", st)
+		}
+		// A second wait with nothing pending returns immediately.
+		t1 := p.Now()
+		r.tier.WaitDrained(p)
+		if p.Now() != t1 {
+			t.Error("idle WaitDrained must not block")
+		}
+		f.Close(p, r.c)
+	})
+}
+
+func TestFallbackPreservesWriteOrder(t *testing.T) {
+	// Overwrite-in-place under buffer pressure: an older buffered segment
+	// must never drain over newer bytes that went to the backing store
+	// directly when the buffer was full.
+	r := newRig(burst.Spec{CapacityBytes: 1 * MB, Rate: 10e9, Policy: burst.PolicyEpochEnd})
+	old := bytes.Repeat([]byte{'a'}, 1*MB)
+	new_ := bytes.Repeat([]byte{'b'}, 1*MB)
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 1*MB, old)  // fills the buffer
+		f.WriteAt(p, r.c, 0, 1*MB, new_) // same range, buffer full
+		got := f.ReadAt(p, r.c, 0, 4)
+		if !bytes.Equal(got, []byte("bbbb")) {
+			t.Errorf("read %q after overwrite under pressure, want last-write-wins %q", got, "bbbb")
+		}
+		f.Close(p, r.c)
+	})
+}

@@ -13,6 +13,7 @@ package cluster
 import (
 	"fmt"
 
+	"picmcio/internal/burst"
 	"picmcio/internal/cephfs"
 	"picmcio/internal/lustre"
 	"picmcio/internal/nfs"
@@ -62,6 +63,12 @@ type Machine struct {
 	Lustre  lustre.Params
 	NFS     nfs.Params
 	Ceph    cephfs.Params
+
+	// Burst describes an optional node-local burst-buffer tier (NVMe
+	// capacity + bandwidth per node). The zero value means the machine
+	// has no staging tier; workloads opt in per engine (burst_buffer
+	// TOML option), so presets carrying a spec change nothing by default.
+	Burst burst.Spec
 }
 
 // Discoverer is the petascale EuroHPC system: 1128 nodes, 2×64-core EPYC,
@@ -117,6 +124,16 @@ func Dardel() Machine {
 		NetBeta:            1.0 / 50e9,
 		Storage:            StorageLustre,
 		Lustre:             lp,
+		// Cray EX nodes carry local NVMe usable as a burst buffer:
+		// ~6 GB/s absorb, drain capped by the NVMe read side sharing the
+		// injection path with foreground traffic.
+		Burst: burst.Spec{
+			CapacityBytes: 1536 << 30,
+			Rate:          6e9,
+			PerOp:         25e-6,
+			DrainRate:     3e9,
+			Policy:        burst.PolicyImmediate,
+		},
 	}
 }
 
@@ -148,6 +165,17 @@ func Vega() Machine {
 		Storage:            StorageLustre,
 		Lustre:             lp,
 		Ceph:               cephfs.DefaultParams(),
+		// Vega's heavily shared Lustre makes batched write-back the
+		// sensible default: buffer until the high watermark, then burst.
+		Burst: burst.Spec{
+			CapacityBytes: 1 << 40,
+			Rate:          4e9,
+			PerOp:         30e-6,
+			DrainRate:     2e9,
+			Policy:        burst.PolicyWatermark,
+			HighWater:     0.6,
+			LowWater:      0.2,
+		},
 	}
 }
 
@@ -159,9 +187,19 @@ type System struct {
 	Machine Machine
 	K       *sim.Kernel
 	FS      pfs.FileSystem
-	Lustre  *lustre.FS // non-nil when Storage == StorageLustre
+	Lustre  *lustre.FS  // non-nil when Storage == StorageLustre
+	Burst   *burst.Tier // non-nil when the machine has a burst-buffer spec
 	Nodes   int
 	Clients []*pfs.Client // one per node, shared by the node's ranks
+}
+
+// StagedFS returns the burst-buffer staging file system, or nil when the
+// machine has none. Attach it to posix.Env.Stage so engines can opt in.
+func (s *System) StagedFS() pfs.FileSystem {
+	if s.Burst == nil {
+		return nil
+	}
+	return s.Burst.FS()
 }
 
 // Build instantiates the machine with the given node allocation on kernel
@@ -188,6 +226,9 @@ func (m Machine) Build(k *sim.Kernel, nodes int, seed uint64) (*System, error) {
 		s.FS = cephfs.New(k, cp)
 	default:
 		return nil, fmt.Errorf("cluster: unknown storage kind %v", m.Storage)
+	}
+	if m.Burst.Enabled() {
+		s.Burst = burst.NewTier(k, m.Burst, s.FS)
 	}
 	s.Clients = make([]*pfs.Client, nodes)
 	for i := range s.Clients {

@@ -86,3 +86,31 @@ func TestStorageKindString(t *testing.T) {
 		t.Fatal("StorageKind strings wrong")
 	}
 }
+
+func TestBurstBufferPresets(t *testing.T) {
+	if !Dardel().Burst.Enabled() || !Vega().Burst.Enabled() {
+		t.Error("Dardel and Vega presets must carry a burst-buffer spec")
+	}
+	if Discoverer().Burst.Enabled() {
+		t.Error("Discoverer has no burst buffer; its spec must be zero")
+	}
+	k := sim.NewKernel()
+	sys, err := Dardel().Build(k, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Burst == nil || sys.StagedFS() == nil {
+		t.Fatal("building a machine with a burst spec must attach a tier")
+	}
+	if sys.Burst.Backing() != sys.FS {
+		t.Error("the tier must wrap the machine's file system")
+	}
+	k2 := sim.NewKernel()
+	sys2, err := Discoverer().Build(k2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Burst != nil || sys2.StagedFS() != nil {
+		t.Error("a machine without a burst spec must not get a tier")
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"picmcio/internal/bit1"
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+)
+
+// BurstPoint is one node count of the burst-buffer figure: the direct vs
+// staged apparent client throughput, plus the drain accounting that shows
+// write-back overlapping compute.
+type BurstPoint struct {
+	Nodes        int
+	DirectGiBs   float64 // openPMD+BP4 straight to the PFS
+	StagedGiBs   float64 // openPMD+BP4 through the burst tier
+	DrainSec     float64 // cumulative drain-worker busy time (all nodes)
+	DrainTailSec float64 // wall-clock drain left after the last rank finished
+	OverlapFrac  float64 // share of drain busy time accrued while ranks ran
+
+	AbsorbedBytes, FallbackBytes, DrainedBytes int64
+}
+
+// burstTOML renders the adaptor TOML for a staged configuration. The
+// burst_buffer key is what lets the core adaptor select staged I/O.
+func burstTOML(numAgg int, durability string) string {
+	s := "burst_buffer = true\n"
+	if durability != "" {
+		s += fmt.Sprintf("burst_durability = %q\n", durability)
+	}
+	return s + aggrTOML(numAgg, "", 1)
+}
+
+// FigBurst is the burst-buffer staging figure (new scenario axis beyond
+// the paper's §IV tuning surface): on Dardel, BIT1 openPMD+BP4 writing
+// directly to Lustre vs staging through the node-local burst tier, across
+// node counts. Staged runs charge compute between epochs so the
+// asynchronous drain has something to overlap with.
+func (o Options) FigBurst() ([]Series, []BurstPoint, error) {
+	o = o.WithDefaults()
+	if o.ComputePerStep == 0 {
+		// ~20 ms of compute per 100-step epoch gap: enough window for the
+		// drain scheduler to overlap write-back with the next phase.
+		o.ComputePerStep = 200e-6
+	}
+	m := cluster.Dardel()
+	if o.BurstPolicy != "" {
+		pol, err := burst.ParsePolicy(o.BurstPolicy)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Burst.Policy = pol
+	}
+	direct := Series{Label: "openPMD+BP4 direct", XLabel: "nodes", YLabel: "GiB/s"}
+	staged := Series{Label: "openPMD+BP4 staged", XLabel: "nodes", YLabel: "GiB/s"}
+	var pts []BurstPoint
+	for _, nodes := range o.NodeCounts {
+		rd, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, aggrTOML(nodes, "", 1))
+		if err != nil {
+			return nil, nil, fmt.Errorf("figburst direct/%d: %w", nodes, err)
+		}
+		rs, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, burstTOML(nodes, ""))
+		if err != nil {
+			return nil, nil, fmt.Errorf("figburst staged/%d: %w", nodes, err)
+		}
+		pt := BurstPoint{Nodes: nodes, DirectGiBs: rd.ThroughputGiBs, StagedGiBs: rs.ThroughputGiBs}
+		if rs.Burst != nil {
+			pt.DrainSec = rs.Burst.DrainBusySec
+			pt.DrainTailSec = rs.DrainTailSec
+			if pt.DrainSec > 0 {
+				pt.OverlapFrac = rs.DrainOverlapSec / pt.DrainSec
+				if pt.OverlapFrac > 1 {
+					pt.OverlapFrac = 1
+				}
+			}
+			pt.AbsorbedBytes = rs.Burst.AbsorbedBytes
+			pt.FallbackBytes = rs.Burst.FallbackBytes
+			pt.DrainedBytes = rs.Burst.DrainedBytes
+		}
+		pts = append(pts, pt)
+		direct.X = append(direct.X, float64(nodes))
+		direct.Y = append(direct.Y, pt.DirectGiBs)
+		staged.X = append(staged.X, float64(nodes))
+		staged.Y = append(staged.Y, pt.StagedGiBs)
+	}
+	return []Series{direct, staged}, pts, nil
+}

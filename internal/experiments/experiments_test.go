@@ -229,3 +229,32 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("runs diverged: %v vs %v", a.ThroughputGiBs, b.ThroughputGiBs)
 	}
 }
+
+func TestFigBurstStagedBeatsDirect(t *testing.T) {
+	o := testOptions()
+	ss, pts, err := o.FigBurst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 2 || len(pts) != len(o.NodeCounts) {
+		t.Fatalf("want 2 series and %d points, got %d/%d", len(o.NodeCounts), len(ss), len(pts))
+	}
+	for _, pt := range pts {
+		if pt.StagedGiBs <= pt.DirectGiBs {
+			t.Errorf("%d nodes: staged %.3f GiB/s must beat direct %.3f GiB/s",
+				pt.Nodes, pt.StagedGiBs, pt.DirectGiBs)
+		}
+		if pt.DrainSec <= 0 {
+			t.Errorf("%d nodes: drain time must be reported, got %v", pt.Nodes, pt.DrainSec)
+		}
+		if pt.DrainedBytes != pt.AbsorbedBytes {
+			t.Errorf("%d nodes: all absorbed bytes must drain (%d vs %d)",
+				pt.Nodes, pt.DrainedBytes, pt.AbsorbedBytes)
+		}
+	}
+	// Some drain work must happen while ranks still run (the compute
+	// windows between epochs are what the async drain overlaps).
+	if last := pts[len(pts)-1]; last.OverlapFrac <= 0 {
+		t.Errorf("drain must overlap compute at %d nodes, overlap %.2f", last.Nodes, last.OverlapFrac)
+	}
+}

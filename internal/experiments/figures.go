@@ -381,7 +381,7 @@ func (o Options) fig9Cell(m cluster.Machine, nodes, stripeCount int, stripeSize 
 		if node >= len(sys.Clients) {
 			node = len(sys.Clients) - 1
 		}
-		env := &posix.Env{FS: sys.FS, Client: sys.Clients[node], Rank: r.ID, Monitor: colr}
+		env := &posix.Env{FS: sys.FS, Stage: sys.StagedFS(), Client: sys.Clients[node], Rank: r.ID, Monitor: colr}
 		if err := bit1.Run(cfg, bit1.RankEnv{Rank: r, Env: env}); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -17,6 +17,7 @@ import (
 
 	"picmcio/internal/adios2"
 	"picmcio/internal/bit1"
+	"picmcio/internal/burst"
 	"picmcio/internal/cluster"
 	"picmcio/internal/compress"
 	"picmcio/internal/darshan"
@@ -36,6 +37,16 @@ type Options struct {
 
 	DiagEpochs       int // simulated diagnostic outputs (paper: 200)
 	CheckpointEpochs int // simulated checkpoints (paper: 20)
+
+	// ComputePerStep charges virtual compute time per PIC step between
+	// output epochs (0 for pure-I/O experiments). The burst-buffer
+	// figure sets it so asynchronous drain overlaps compute.
+	ComputePerStep sim.Duration
+
+	// BurstPolicy overrides the machine preset's drain policy for the
+	// burst-buffer figure ("immediate", "watermark", "epoch-end";
+	// "" keeps the preset).
+	BurstPolicy string
 
 	FullDiagEpochs       int // production-run diagnostic outputs
 	FullCheckpointEpochs int // production-run checkpoints
@@ -105,6 +116,14 @@ type RunResult struct {
 
 	// BP4 profiling.json totals, if the run produced one.
 	Profile *adios2.Timers
+
+	// Burst-buffer tier accounting, when the machine has one.
+	Burst *burst.Stats
+	// AppEndSec is when the last rank finished its program; DrainTailSec
+	// is the wall-clock write-back time left after that. DrainOverlapSec
+	// is the drain busy time accrued while ranks were still running —
+	// the portion of write-back genuinely overlapped with the app.
+	AppEndSec, DrainTailSec, DrainOverlapSec float64
 }
 
 // RunBIT1Public runs one BIT1 configuration and returns its measurements
@@ -131,32 +150,49 @@ func (o Options) runBIT1(m cluster.Machine, nodes int, mode bit1.IOMode, toml st
 		OutDir:         "/scratch/bit1",
 		Mode:           mode,
 		OpenPMDOptions: toml,
+		ComputePerStep: o.ComputePerStep,
 		StdioOverhead:  sim.Duration(m.StdioWriteOverhead),
 	}
 	var mu sync.Mutex
 	var firstErr error
+	var appEnd sim.Time
+	var drainBusyAtAppEnd float64
 	w.Run(func(r *mpisim.Rank) {
 		node := r.ID / o.RanksPerNode
 		if node >= len(sys.Clients) {
 			node = len(sys.Clients) - 1
 		}
-		env := &posix.Env{FS: sys.FS, Client: sys.Clients[node], Rank: r.ID, Monitor: col}
-		if err := bit1.Run(cfg, bit1.RankEnv{Rank: r, Env: env}); err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
+		env := &posix.Env{FS: sys.FS, Stage: sys.StagedFS(), Client: sys.Clients[node], Rank: r.ID, Monitor: col}
+		err := bit1.Run(cfg, bit1.RankEnv{Rank: r, Env: env})
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
+		if now := r.Proc.Now(); now > appEnd {
+			appEnd = now
+			if sys.Burst != nil {
+				drainBusyAtAppEnd = sys.Burst.Stats().DrainBusySec
+			}
+		}
+		mu.Unlock()
 	})
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	res := &RunResult{
-		Machine: m.Name,
-		Nodes:   nodes,
-		Ranks:   ranks,
-		Elapsed: k.Now(),
+		Machine:   m.Name,
+		Nodes:     nodes,
+		Ranks:     ranks,
+		Elapsed:   k.Now(),
+		AppEndSec: float64(appEnd),
+	}
+	if sys.Burst != nil {
+		st := sys.Burst.Stats()
+		res.Burst = &st
+		// k.Run returns only after on-demand drain workers exit, so the
+		// drain tail is whatever virtual time passed after the last rank.
+		res.DrainTailSec = float64(k.Now() - appEnd)
+		res.DrainOverlapSec = drainBusyAtAppEnd
 	}
 	res.Log = col.Snapshot(darshan.JobMeta{
 		Executable: "bit1." + mode.String(), NProcs: ranks,

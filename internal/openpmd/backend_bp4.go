@@ -42,6 +42,20 @@ func newBP4Backend(s *Series) (*bp4Backend, error) {
 			return nil, err
 		}
 	}
+	// Burst-buffer staging: `burst_buffer = true` (top level or under
+	// [adios2.engine]) routes engine I/O through the host environment's
+	// staging tier; `burst_durability = "pfs"` makes iteration close wait
+	// for write-back instead of returning at buffered durability.
+	for _, key := range []string{"burst_buffer", "adios2.engine.burst_buffer"} {
+		if v, ok := s.cfg.Get(key); ok {
+			io.SetParameter("BurstBuffer", v)
+		}
+	}
+	for _, key := range []string{"burst_durability", "adios2.engine.burst_durability"} {
+		if v, ok := s.cfg.Get(key); ok {
+			io.SetParameter("BurstDurability", v)
+		}
+	}
 	b := &bp4Backend{s: s, io: io}
 	h := adios2.Host{Proc: s.host.Proc, Env: s.host.Env, Comm: s.host.Comm}
 	mode := adios2.ModeWrite

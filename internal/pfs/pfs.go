@@ -80,6 +80,15 @@ type FileSystem interface {
 	ReadDir(p *sim.Proc, c *Client, path string) ([]FileInfo, error)
 }
 
+// Stager is optionally implemented by staging file systems (burst
+// buffers) layered over a backing FileSystem. DrainEpoch nudges the tier
+// to start writing buffered data back to the backing store without
+// blocking the caller; the ADIOS2 engine calls it when a step closes.
+type Stager interface {
+	FileSystem
+	DrainEpoch(p *sim.Proc)
+}
+
 // Clean normalizes a path to an absolute slash-separated form with no
 // trailing slash (except for the root itself).
 func Clean(path string) string {

@@ -1,0 +1,85 @@
+package sim
+
+// Completion is a one-shot broadcast event: processes Wait until some
+// other process calls Complete, after which every current and future Wait
+// returns immediately. It is the handshake primitive for background
+// activities (e.g. a burst-buffer drain) whose consumers need to observe
+// "that batch of work is finished".
+type Completion struct {
+	k       *Kernel
+	done    bool
+	waiters []*Proc
+}
+
+// NewCompletion returns an incomplete completion bound to kernel k.
+func NewCompletion(k *Kernel) *Completion { return &Completion{k: k} }
+
+// Done reports whether Complete has been called.
+func (c *Completion) Done() bool { return c.done }
+
+// Complete marks the event done and wakes every waiter, in wait order.
+// Completing twice is a no-op.
+func (c *Completion) Complete() {
+	if c.done {
+		return
+	}
+	c.done = true
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.k.Wake(w)
+	}
+}
+
+// Wait parks the calling process until Complete; it returns immediately if
+// the event is already done.
+func (c *Completion) Wait(p *Proc) {
+	if c.done {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.Park()
+}
+
+// Gauge is a non-negative counter processes can wait to reach zero — the
+// bookkeeping primitive for background write-back tracking: producers Add
+// pending work, the background worker subtracts as it completes, and
+// barrier-style consumers WaitZero.
+type Gauge struct {
+	k       *Kernel
+	v       int64
+	waiters []*Proc
+}
+
+// NewGauge returns a zero gauge bound to kernel k.
+func NewGauge(k *Kernel) *Gauge { return &Gauge{k: k} }
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Add changes the gauge by d. Dropping to zero wakes all WaitZero waiters;
+// going negative panics (it means release without matching acquire).
+func (g *Gauge) Add(d int64) {
+	g.v += d
+	if g.v < 0 {
+		panic("sim: gauge went negative")
+	}
+	if g.v == 0 {
+		ws := g.waiters
+		g.waiters = nil
+		for _, w := range ws {
+			g.k.Wake(w)
+		}
+	}
+}
+
+// WaitZero parks the calling process until the gauge value is zero; it
+// returns immediately when the gauge is already zero. A waiter woken by a
+// zero crossing re-checks, so transient zero→nonzero races while several
+// waiters resume still leave every returned waiter having observed zero.
+func (g *Gauge) WaitZero(p *Proc) {
+	for g.v != 0 {
+		g.waiters = append(g.waiters, p)
+		p.Park()
+	}
+}
