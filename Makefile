@@ -1,0 +1,30 @@
+# Developer entry points. CI runs `make check bench`.
+
+# pipefail so a b.Fatal in a benchmark fails the bench recipe even though
+# its output is piped into benchjson.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+GO ?= go
+
+.PHONY: check test vet bench clean
+
+check: vet test
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# bench runs the burst-buffer and multi-job contention benchmarks once and
+# writes their metrics as machine-readable JSON (BENCH_contention.json),
+# the regression record CI archives alongside the text log.
+bench:
+	$(GO) test -bench 'BenchmarkBurstBuffer$$|BenchmarkContention$$' -benchtime=1x -run '^$$' . \
+		| tee BENCH_contention.txt \
+		| $(GO) run ./cmd/benchjson -o BENCH_contention.json
+	@cat BENCH_contention.json
+
+clean:
+	rm -f BENCH_contention.json BENCH_contention.txt

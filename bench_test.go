@@ -192,6 +192,39 @@ func benchBurstBuffer(b *testing.B, o experiments.Options) {
 	}
 }
 
+// BenchmarkContention measures the multi-job contention scenario (the
+// second post-paper scenario axis): a staged checkpoint-heavy job next to
+// a direct writer on one Dardel, across the drain-QoS policy grid.
+// Co-scheduling must cost something (slowdown > 1) and the rate-limit
+// policy must hand bandwidth back to the neighbour.
+func BenchmarkContention(b *testing.B) {
+	o := experiments.Options{Seed: 1}
+	for i := 0; i < b.N; i++ {
+		_, rows, err := o.FigContention()
+		if err != nil {
+			b.Fatal(err)
+		}
+		byPolicy := map[string]*experiments.ContentionRow{}
+		for j := range rows {
+			byPolicy[rows[j].Policy] = &rows[j]
+		}
+		off, lim := byPolicy["qos-off"], byPolicy["rate-limit"]
+		if off == nil || lim == nil {
+			b.Fatal("policy grid incomplete")
+		}
+		b.ReportMetric(off.Result.MaxSlowdown(), "qosoff_max_slowdown_x")
+		b.ReportMetric(off.Result.Jain, "qosoff_jain")
+		b.ReportMetric(lim.Result.Slowdown[1], "ratelimit_direct_slowdown_x")
+		b.ReportMetric(lim.Result.Jain, "ratelimit_jain")
+		if off.Result.MaxSlowdown() <= 1.0 {
+			b.Fatalf("co-scheduled slowdown %.4f, interference must be > 1.0", off.Result.MaxSlowdown())
+		}
+		if lim.Result.Slowdown[1] >= off.Result.Slowdown[1] {
+			b.Fatal("rate-limit QoS must reduce the neighbour's slowdown")
+		}
+	}
+}
+
 // BenchmarkTab2FileCounts regenerates the Table II file accounting.
 func BenchmarkTab2FileCounts(b *testing.B) {
 	o := benchOptions()

@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON results file, so CI can archive benchmark
+// metrics (throughputs, slowdowns, fairness indices) across runs.
+//
+// Usage:
+//
+//	go test -bench 'BurstBuffer|Contention' -benchtime=1x -run '^$' . |
+//	    go run ./cmd/benchjson -o BENCH_contention.json
+//
+// Each benchmark line of the form
+//
+//	BenchmarkName-8   1   123456 ns/op   1.886 max_slowdown_x ...
+//
+// becomes an entry with the iteration count and every metric pair.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file-level JSON shape.
+type Report struct {
+	Package    string   `json:"package,omitempty"`
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_contention.json", "output JSON path ('-' for stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parse consumes go-test bench output, collecting header context lines
+// (goos/goarch/pkg) and every Benchmark result line.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBench splits one result line into name, iterations and value/unit
+// metric pairs.
+func parseBench(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("too few fields")
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	r := Result{Name: strings.TrimPrefix(name, "Benchmark"), Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

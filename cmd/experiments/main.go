@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,figburst,tab1,tab2,lst1,all")
+	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,figburst,figcontention,tab1,tab2,lst1,all")
 	nodes := flag.Int("nodes", 200, "node count for fixed-scale artifacts (fig5, fig6, fig8, fig9)")
 	nodeList := flag.String("node-list", "", "comma-separated node counts for scaling artifacts (default: paper set)")
 	ranksPerNode := flag.Int("ranks-per-node", 128, "MPI ranks per node")
@@ -49,7 +49,7 @@ func main() {
 
 	artifacts := strings.Split(*runWhat, ",")
 	if *runWhat == "all" {
-		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figburst", "tab1", "tab2", "lst1"}
+		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figburst", "figcontention", "tab1", "tab2", "lst1"}
 	}
 	for _, a := range artifacts {
 		if err := runArtifact(strings.TrimSpace(a), o, *nodes); err != nil {
@@ -145,6 +145,17 @@ func runArtifact(name string, o experiments.Options, nodes int) error {
 			})
 		}
 		fmt.Println(t.Render())
+	case "figcontention":
+		t, rows, err := o.FigContention()
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		for _, row := range rows {
+			res := row.Result
+			fmt.Printf("%-10s  max slowdown %.3fx  Jain %.4f\n", row.Policy, res.MaxSlowdown(), res.Jain)
+		}
+		fmt.Println()
 	case "tab1":
 		fmt.Println(experiments.Tab1().Render())
 	case "tab2":

@@ -1,0 +1,86 @@
+// Multi-job contention: two jobs co-scheduled on one simulated Dardel —
+// a checkpoint-heavy job staging through node-local burst buffers next to
+// a neighbour writing directly to the shared Lustre — so the staged job's
+// drain traffic and the neighbour's writes fight over the same OSTs and
+// backbone. The demo runs the co-schedule twice, with the drain
+// scheduler's QoS off and with the checkpoint priority lane on, and
+// prints what each job paid for sharing the machine (slowdown vs running
+// alone, Jain's fairness index) and when each drain lane became
+// PFS-durable: under priority QoS, checkpoint bytes jump the write-back
+// backlog ahead of diagnostics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/jobs"
+	"picmcio/internal/units"
+)
+
+// specs is the two-job scenario. The staged job's write-back is
+// rate-limited to 1 GB/s, so a backlog builds across epochs — exactly the
+// condition where lane priority matters: without it, early diagnostics
+// block later checkpoints from becoming restart-safe.
+func specs(qos burst.QoS) []jobs.Spec {
+	wl := jobs.Workload{
+		Epochs:          4,
+		CheckpointBytes: 96 * units.MiB,
+		DiagBytes:       32 * units.MiB,
+		ComputeSec:      0.02,
+	}
+	return []jobs.Spec{
+		{
+			Name:  "ckpt-heavy",
+			Nodes: 4,
+			Burst: burst.Spec{
+				CapacityBytes: 2 << 30,
+				Rate:          6e9,
+				PerOp:         25e-6,
+				Policy:        burst.PolicyEpochEnd,
+				QoS:           qos,
+			},
+			Workload:    wl,
+			StripeCount: -1,
+		},
+		{Name: "neighbour", Nodes: 4, Workload: wl, StripeCount: -1},
+	}
+}
+
+func run(label string, qos burst.QoS) *jobs.ContentionResult {
+	res, err := jobs.Contention(cluster.Dardel(), specs(qos), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n", label)
+	for i, j := range res.Jobs {
+		fmt.Printf("  %-11s %d nodes  wrote %-8s durable in %-10s slowdown %.3fx vs isolated\n",
+			j.Name, j.Nodes, units.Bytes(j.BytesWritten), units.Seconds(j.DurableSec), res.Slowdown[i])
+	}
+	staged := res.Jobs[0]
+	ck := staged.Burst.Class[burst.ClassCheckpoint]
+	dg := staged.Burst.Class[burst.ClassDiagnostic]
+	fmt.Printf("  drain lanes: checkpoint %s durable at %s, diagnostics %s at %s\n",
+		units.Bytes(ck.DrainedBytes), units.Seconds(float64(ck.LastDrainEnd)),
+		units.Bytes(dg.DrainedBytes), units.Seconds(float64(dg.LastDrainEnd)))
+	fmt.Printf("  Jain fairness index over achieved bandwidth: %.4f\n\n", res.Jain)
+	return res
+}
+
+func main() {
+	base := burst.QoS{DrainLimit: 1e9} // backlogged write-back, one FIFO lane
+	prio := burst.QoS{DrainLimit: 1e9, PriorityLanes: true}
+
+	off := run("QoS off (FIFO write-back)", base)
+	on := run("checkpoint priority lane", prio)
+
+	offCk := off.Jobs[0].Burst.Class[burst.ClassCheckpoint].LastDrainEnd
+	onCk := on.Jobs[0].Burst.Class[burst.ClassCheckpoint].LastDrainEnd
+	fmt.Printf("last checkpoint byte PFS-durable: %s (FIFO) -> %s (priority lane)\n",
+		units.Seconds(float64(offCk)), units.Seconds(float64(onCk)))
+	if onCk < offCk {
+		fmt.Println("priority QoS makes checkpoints restart-safe sooner; diagnostics absorb the wait ✔")
+	}
+}

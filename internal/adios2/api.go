@@ -18,8 +18,10 @@ import (
 	"sort"
 	"strconv"
 
+	"picmcio/internal/burst"
 	"picmcio/internal/compress"
 	"picmcio/internal/mpisim"
+	"picmcio/internal/pfs"
 	"picmcio/internal/posix"
 	"picmcio/internal/sim"
 )
@@ -125,6 +127,11 @@ func (io *IO) Engine() string { return io.engine }
 //	                     environment's burst-buffer tier, if attached
 //	BurstDurability      "buffered" (default) or "pfs" — whether EndStep
 //	                     returns at buffered or PFS durability
+//	BurstQoSPriority     "on"/"true" — drain checkpoint-class segments
+//	                     before diagnostics (tier QoS priority lane)
+//	BurstDrainLimit      per-node write-back bandwidth cap, bytes/second
+//	BurstDrainDeadline   pace each epoch's write-back across this many
+//	                     seconds instead of bursting ("drain by next epoch")
 func (io *IO) SetParameter(k, v string) { io.params[k] = v }
 
 // Parameter reads back a parameter with a default.
@@ -255,6 +262,46 @@ func paramOn(v string) bool {
 	return false
 }
 
+// applyBurstQoS forwards the BurstQoS* engine parameters to the staging
+// tier's drain scheduler when the staged file system is a burst tier.
+// Every rank applies the same values at open time, so the call is
+// idempotent across the communicator. Malformed knob values are errors —
+// a typo'd rate limit silently running uncapped would defeat the knob's
+// purpose.
+func (io *IO) applyBurstQoS(fs pfs.FileSystem) error {
+	bfs, ok := fs.(*burst.FS)
+	if !ok {
+		return nil
+	}
+	tier := bfs.Tier()
+	q := tier.QoS()
+	changed := false
+	if v, ok := io.params["BurstQoSPriority"]; ok {
+		q.PriorityLanes = paramOn(v)
+		changed = true
+	}
+	if v, ok := io.params["BurstDrainLimit"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("adios2: bad BurstDrainLimit %q (want non-negative bytes/second)", v)
+		}
+		q.DrainLimit = f
+		changed = true
+	}
+	if v, ok := io.params["BurstDrainDeadline"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("adios2: bad BurstDrainDeadline %q (want non-negative seconds)", v)
+		}
+		q.Deadline = sim.Duration(f)
+		changed = true
+	}
+	if changed {
+		tier.SetQoS(q)
+	}
+	return nil
+}
+
 // Open creates an engine for path in the given mode. Every rank of the
 // communicator must call Open collectively for write mode. With the
 // BurstBuffer parameter on and a staging tier attached to the host
@@ -266,6 +313,9 @@ func (io *IO) Open(h Host, path string, mode Mode) (*Engine, error) {
 	if paramOn(io.Parameter("BurstBuffer", "off")) {
 		if st := h.Env.Staged(); st != nil {
 			h.Env = st
+			if err := io.applyBurstQoS(st.FS); err != nil {
+				return nil, err
+			}
 		}
 	}
 	switch mode {

@@ -24,6 +24,7 @@ package burst
 
 import (
 	"fmt"
+	"strings"
 
 	"picmcio/internal/pfs"
 	"picmcio/internal/sim"
@@ -72,6 +73,65 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("burst: unknown drain policy %q", s)
 }
 
+// Class is a drain QoS lane. Checkpoint segments are the data a restart
+// depends on; diagnostics are analysis output that can tolerate latency.
+type Class int
+
+// Drain lanes in priority order (lower drains first under priority QoS).
+const (
+	ClassCheckpoint Class = iota
+	ClassDiagnostic
+	NumClasses // lane count, for per-class accounting arrays
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCheckpoint:
+		return "checkpoint"
+	case ClassDiagnostic:
+		return "diagnostic"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// DefaultClassify maps a path to its drain lane by the file's naming
+// convention: BIT1 checkpoint artifacts (.dmp dumps, "ckpt"/"checkpoint"
+// file names) are ClassCheckpoint; everything else (diagnostic .dat
+// snapshots, BP subfiles, logs) is ClassDiagnostic. Only the base name is
+// inspected so a job directory named after checkpoints does not drag its
+// diagnostics into the priority lane.
+func DefaultClassify(path string) Class {
+	_, base := pfs.Split(path)
+	b := strings.ToLower(base)
+	if strings.HasSuffix(b, ".dmp") || strings.Contains(b, "ckpt") || strings.Contains(b, "checkpoint") {
+		return ClassCheckpoint
+	}
+	return ClassDiagnostic
+}
+
+// QoS configures the drain scheduler's quality-of-service behaviour. The
+// zero value reproduces the plain scheduler: one FIFO lane, write-back as
+// fast as the drain path allows.
+type QoS struct {
+	// PriorityLanes drains checkpoint-class segments strictly before
+	// diagnostic-class segments (per-file ordering is preserved because a
+	// file's segments all share its lane).
+	PriorityLanes bool
+	// DrainLimit caps each node's write-back bandwidth in bytes/second on
+	// top of the device-side DrainRate (which is also per node) — the
+	// "good neighbour" knob that keeps one job's write-back from
+	// monopolizing shared OSTs. The job-aggregate cap is DrainLimit ×
+	// draining nodes. 0 = no extra cap.
+	DrainLimit float64
+	// Deadline switches the scheduler from drain-ASAP to drain-by-deadline:
+	// each batch of buffered bytes is paced so it becomes PFS-durable
+	// within this window (refreshed at every DrainEpoch nudge — "drain by
+	// next epoch"), smoothing write-back across the compute phase instead
+	// of bursting. Forced drains (Sync, reads, WaitDrained) ignore pacing.
+	Deadline sim.Duration
+}
+
 // Spec sizes one node's burst buffer. The zero value means "no burst
 // buffer" (Enabled reports false and the tier passes through).
 type Spec struct {
@@ -82,6 +142,12 @@ type Spec struct {
 	Policy        Policy
 	HighWater     float64 // watermark start fraction (default 0.7)
 	LowWater      float64 // watermark stop fraction (default 0.3)
+
+	// QoS is the drain scheduler's initial quality-of-service setting;
+	// Tier.SetQoS can adjust it at run time (e.g. from engine TOML).
+	QoS QoS
+	// Classify assigns staged paths to drain lanes; nil = DefaultClassify.
+	Classify func(path string) Class
 }
 
 // Enabled reports whether the spec describes an actual buffer.
@@ -97,16 +163,38 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// ClassStats is one drain lane's accounting.
+type ClassStats struct {
+	DrainedBytes    int64    // lane bytes written back
+	FirstDrainStart sim.Time // when the lane's first segment started draining
+	LastDrainEnd    sim.Time // when the lane's latest segment became PFS-durable
+}
+
 // Stats is the tier's cumulative accounting.
 type Stats struct {
-	AbsorbedBytes int64    // written buffered-durable at local speed
-	FallbackBytes int64    // overflowed to direct PFS writes (buffer full)
-	DrainedBytes  int64    // written back, now PFS-durable
-	DrainOps      int64    // backing write-back operations issued
-	DrainBusySec  float64  // cumulative drain-worker busy time
-	LastDrainEnd  sim.Time // when the most recent segment became PFS-durable
-	MaxUsedBytes  int64    // peak buffer occupancy on any node
-	PendingBytes  int64    // still buffered, not yet PFS-durable
+	AbsorbedBytes   int64    // written buffered-durable at local speed
+	FallbackBytes   int64    // overflowed to direct PFS writes (buffer full)
+	DrainedBytes    int64    // written back, now PFS-durable
+	DrainOps        int64    // backing write-back operations issued
+	DrainBusySec    float64  // cumulative drain-worker busy time
+	FirstDrainStart sim.Time // when the first segment started draining
+	LastDrainEnd    sim.Time // when the most recent segment became PFS-durable
+	MaxUsedBytes    int64    // peak buffer occupancy on any node
+	PendingBytes    int64    // still buffered, not yet PFS-durable
+
+	// Class breaks the drain accounting down by QoS lane; the achieved
+	// drain bandwidth DrainedBytes/(LastDrainEnd-FirstDrainStart) is the
+	// per-job fairness input (see internal/jobs).
+	Class [NumClasses]ClassStats
+}
+
+// DrainBandwidth reports the achieved write-back bandwidth in
+// bytes/second over the tier's active drain window (0 before any drain).
+func (s Stats) DrainBandwidth() float64 {
+	if s.DrainedBytes == 0 || s.LastDrainEnd <= s.FirstDrainStart {
+		return 0
+	}
+	return float64(s.DrainedBytes) / float64(s.LastDrainEnd-s.FirstDrainStart)
 }
 
 // segment is one pending write-back unit.
@@ -114,6 +202,7 @@ type segment struct {
 	st   *fileState
 	off  int64
 	n    int64
+	seq  uint64 // global enqueue order, for cross-lane FIFO
 	data []byte // nil in volume mode
 }
 
@@ -121,6 +210,7 @@ type segment struct {
 // path, and the drain scheduler, see the same pending/size bookkeeping.
 type fileState struct {
 	path         string
+	class        Class
 	backing      pfs.File
 	size         int64 // logical size including buffered-but-undrained writes
 	pending      int64 // undrained bytes
@@ -129,50 +219,105 @@ type fileState struct {
 	drained      *sim.Completion // armed while a process waits for PFS durability
 }
 
-// nodeState is one node's device and drain queue.
+// nodeState is one node's device and drain queues (one per QoS lane).
 type nodeState struct {
 	id       int
 	dev      *sim.Server // absorb-side NVMe pipe
 	drainDev *sim.Server // drain-side cap; nil when uncapped
 	client   *pfs.Client // client the drain worker issues backing I/O through
 	used     int64
-	queue    []*segment
+	queues   [NumClasses][]*segment
 	draining bool
 	force    bool // drain past the low watermark (flush requested)
+
+	limitDev   *sim.Server // QoS rate limiter; rebuilt when the limit changes
+	limitRate  float64
+	deadlineAt sim.Time // drain-by-deadline target for the current batch
 
 	inFlight bool // worker is mid-segment; segStart is its begin time
 	segStart sim.Time
 }
 
+// queuedSegs reports the number of segments across all lanes.
+func (ns *nodeState) queuedSegs() int {
+	n := 0
+	for cl := range ns.queues {
+		n += len(ns.queues[cl])
+	}
+	return n
+}
+
+// pop removes the next segment to drain: the head of the highest-priority
+// nonempty lane when priority is on, otherwise the globally oldest
+// (restoring strict cross-lane FIFO).
+func (ns *nodeState) pop(priority bool) *segment {
+	best := -1
+	for cl := range ns.queues {
+		if len(ns.queues[cl]) == 0 {
+			continue
+		}
+		if priority {
+			best = cl
+			break
+		}
+		if best < 0 || ns.queues[cl][0].seq < ns.queues[best][0].seq {
+			best = cl
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	seg := ns.queues[best][0]
+	ns.queues[best] = ns.queues[best][1:]
+	return seg
+}
+
 // Tier is a burst-buffer staging tier over a backing file system.
 type Tier struct {
-	k       *sim.Kernel
-	spec    Spec
-	backing pfs.FileSystem
-	fs      *FS
-	nodes   map[int]*nodeState
-	order   []*nodeState // deterministic iteration order (creation order)
-	files   map[string]*fileState
-	pending *sim.Gauge // total undrained bytes, for WaitDrained
-	stats   Stats
+	k        *sim.Kernel
+	spec     Spec
+	qos      QoS
+	classify func(string) Class
+	backing  pfs.FileSystem
+	fs       *FS
+	nodes    map[int]*nodeState
+	order    []*nodeState // deterministic iteration order (creation order)
+	files    map[string]*fileState
+	pending  *sim.Gauge // total undrained bytes, for WaitDrained
+	segSeq   uint64
+	stats    Stats
 }
 
 // NewTier creates a staging tier on kernel k over the backing file system.
 func NewTier(k *sim.Kernel, spec Spec, backing pfs.FileSystem) *Tier {
 	t := &Tier{
-		k:       k,
-		spec:    spec.withDefaults(),
-		backing: backing,
-		nodes:   map[int]*nodeState{},
-		files:   map[string]*fileState{},
-		pending: sim.NewGauge(k),
+		k:        k,
+		spec:     spec.withDefaults(),
+		qos:      spec.QoS,
+		classify: spec.Classify,
+		backing:  backing,
+		nodes:    map[int]*nodeState{},
+		files:    map[string]*fileState{},
+		pending:  sim.NewGauge(k),
+	}
+	if t.classify == nil {
+		t.classify = DefaultClassify
 	}
 	t.fs = &FS{t: t}
 	return t
 }
 
-// Spec reports the tier's per-node buffer spec.
+// Spec reports the tier's per-node buffer spec (its QoS field is the
+// initial setting; QoS reports the live one).
 func (t *Tier) Spec() Spec { return t.spec }
+
+// QoS reports the drain scheduler's current quality-of-service setting.
+func (t *Tier) QoS() QoS { return t.qos }
+
+// SetQoS adjusts the drain scheduler's quality of service; it applies to
+// every subsequent drain decision (queued segments included). Engines set
+// it at open time from the burst_* TOML knobs.
+func (t *Tier) SetQoS(q QoS) { t.qos = q }
 
 // FS returns the staging file system: writes through it are absorbed by
 // the node-local buffer and drained in the background.
@@ -220,13 +365,19 @@ func (t *Tier) node(c *pfs.Client) *nodeState {
 }
 
 // state returns (creating if needed) the staging record for path, adopting
-// the given backing handle and observing its current size.
-func (t *Tier) state(path string, backing pfs.File) *fileState {
-	p := pfs.Clean(path)
-	st, ok := t.files[p]
+// the given backing handle and observing its current size. A previously
+// adopted handle this one supersedes is closed — every backing open must
+// pay exactly one backing close, or metadata costs are undercounted and
+// the superseded handle leaks.
+func (t *Tier) state(p *sim.Proc, c *pfs.Client, path string, backing pfs.File) *fileState {
+	cp := pfs.Clean(path)
+	st, ok := t.files[cp]
 	if !ok {
-		st = &fileState{path: p}
-		t.files[p] = st
+		st = &fileState{path: cp, class: t.classify(cp)}
+		t.files[cp] = st
+	}
+	if st.backing != nil && st.backing != backing {
+		st.backing.Close(p, c)
 	}
 	st.backing = backing
 	if sz := backing.Size(); sz > st.size {
@@ -242,17 +393,19 @@ func (t *Tier) state(path string, backing pfs.File) *fileState {
 // sim's single-writer usage that window is empty in practice.
 func (t *Tier) cancel(p *sim.Proc, c *pfs.Client, st *fileState) {
 	for _, ns := range t.order {
-		kept := ns.queue[:0]
-		for _, seg := range ns.queue {
-			if seg.st != st {
-				kept = append(kept, seg)
-				continue
+		for cl := range ns.queues {
+			kept := ns.queues[cl][:0]
+			for _, seg := range ns.queues[cl] {
+				if seg.st != st {
+					kept = append(kept, seg)
+					continue
+				}
+				ns.used -= seg.n
+				st.pending -= seg.n
+				t.pending.Add(-seg.n)
 			}
-			ns.used -= seg.n
-			st.pending -= seg.n
-			t.pending.Add(-seg.n)
+			ns.queues[cl] = kept
 		}
-		ns.queue = kept
 	}
 	t.settle(p, c, st)
 }
@@ -270,6 +423,7 @@ func (t *Tier) settle(p *sim.Proc, c *pfs.Client, st *fileState) {
 	if st.closeOnDrain && st.refs == 0 {
 		st.closeOnDrain = false
 		st.backing.Close(p, c)
+		st.backing = nil // closed: a later open must not close it again
 	}
 }
 
@@ -277,7 +431,7 @@ func (t *Tier) settle(p *sim.Proc, c *pfs.Client, st *fileState) {
 // draining fully regardless of watermark state.
 func (t *Tier) forceDrainAll() {
 	for _, ns := range t.order {
-		if len(ns.queue) > 0 {
+		if ns.queuedSegs() > 0 {
 			ns.force = true
 			t.ensureDrainer(ns)
 		}
@@ -287,9 +441,21 @@ func (t *Tier) forceDrainAll() {
 // DrainEpoch is the epoch-close nudge (pfs.Stager): under PolicyEpochEnd
 // it starts a full drain of every queue. Under the other policies it is a
 // no-op — immediate drains as data arrives, and watermark batching would
-// be defeated if every step close forced a flush.
+// be defeated if every step close forced a flush. With a QoS deadline the
+// nudge also re-arms every node's drain-by-next-epoch target.
 func (t *Tier) DrainEpoch(_ *sim.Proc) {
+	if t.qos.Deadline > 0 {
+		for _, ns := range t.order {
+			ns.deadlineAt = t.k.Now() + t.qos.Deadline
+		}
+	}
 	if t.spec.Policy != PolicyEpochEnd {
+		return
+	}
+	if t.qos.Deadline > 0 {
+		for _, ns := range t.order { // paced drain, not a forced flush
+			t.ensureDrainer(ns)
+		}
 		return
 	}
 	t.forceDrainAll()
@@ -307,28 +473,60 @@ func (t *Tier) WaitDrained(p *sim.Proc) {
 // processes: they exit when their stop condition holds, so an idle tier
 // leaves no parked processes behind.
 func (t *Tier) ensureDrainer(ns *nodeState) {
-	if ns.draining || len(ns.queue) == 0 {
+	if ns.draining || ns.queuedSegs() == 0 {
 		return
 	}
 	ns.draining = true
 	t.k.Spawn(fmt.Sprintf("burst.drain.%d", ns.id), func(p *sim.Proc) { t.drain(p, ns) })
 }
 
-// drain is the worker body: pop segments FIFO and write them back through
-// the node's drain path, stopping at the policy's stop condition.
+// drain is the worker body: pop segments (FIFO, or priority-lane order
+// under QoS) and write them back through the node's drain path, stopping
+// at the policy's stop condition. The QoS rate limit and deadline pacing
+// both stretch a segment's completion without consuming device time.
 func (t *Tier) drain(p *sim.Proc, ns *nodeState) {
-	for len(ns.queue) > 0 {
+	for ns.queuedSegs() > 0 {
 		if t.spec.Policy == PolicyWatermark && !ns.force &&
 			float64(ns.used) <= t.spec.LowWater*float64(t.spec.CapacityBytes) {
 			break
 		}
-		seg := ns.queue[0]
-		ns.queue = ns.queue[1:]
+		seg := ns.pop(t.qos.PriorityLanes)
 		t0 := p.Now()
 		ns.inFlight, ns.segStart = true, t0
 		var devEnd sim.Time
 		if ns.drainDev != nil {
 			devEnd = ns.drainDev.Reserve(seg.n)
+		}
+		if lim := t.qos.DrainLimit; lim > 0 {
+			if ns.limitDev == nil || ns.limitRate != lim {
+				ns.limitDev, ns.limitRate = sim.NewServer(t.k, lim, 0), lim
+			}
+			if e := ns.limitDev.Reserve(seg.n); e > devEnd {
+				devEnd = e
+			}
+		}
+		if t.qos.Deadline > 0 && !ns.force {
+			// Pace the batch: this segment gets the share of the remaining
+			// deadline window proportional to its share of the node's
+			// pending bytes, so the whole batch lands at the deadline
+			// instead of bursting onto the shared backbone.
+			if window := ns.deadlineAt - t0; window > 0 && ns.used > 0 {
+				share := sim.Duration(float64(seg.n) / float64(ns.used))
+				if e := t0 + window*share; e > devEnd {
+					devEnd = e
+				}
+			}
+		}
+		// Keep the earliest start: with several nodes' workers mid-first-
+		// segment, DrainOps is still 0 for each and a plain set would
+		// record the latest first-wave start, shrinking DrainBandwidth's
+		// window.
+		if t.stats.DrainOps == 0 && (t.stats.FirstDrainStart == 0 || t0 < t.stats.FirstDrainStart) {
+			t.stats.FirstDrainStart = t0
+		}
+		cs := &t.stats.Class[seg.st.class]
+		if cs.DrainedBytes == 0 && (cs.FirstDrainStart == 0 || t0 < cs.FirstDrainStart) {
+			cs.FirstDrainStart = t0
 		}
 		seg.st.backing.WriteAt(p, ns.client, seg.off, seg.n, seg.data)
 		if devEnd > p.Now() {
@@ -341,10 +539,12 @@ func (t *Tier) drain(p *sim.Proc, ns *nodeState) {
 		t.stats.DrainOps++
 		t.stats.DrainBusySec += float64(p.Now() - t0)
 		t.stats.LastDrainEnd = p.Now()
+		cs.DrainedBytes += seg.n
+		cs.LastDrainEnd = p.Now()
 		t.settle(p, ns.client, seg.st)
 		t.pending.Add(-seg.n)
 	}
-	if len(ns.queue) == 0 {
+	if ns.queuedSegs() == 0 {
 		ns.force = false
 	}
 	ns.draining = false
@@ -374,14 +574,14 @@ func (f *FS) WaitDrained(p *sim.Proc) { f.t.WaitDrained(p) }
 
 // wrap stages a freshly opened backing handle, or returns it unwrapped
 // when the tier is disabled (zero capacity degrades to direct I/O).
-func (f *FS) wrap(bf pfs.File, err error, path string) (pfs.File, error) {
+func (f *FS) wrap(p *sim.Proc, c *pfs.Client, bf pfs.File, err error, path string) (pfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
 	if !f.t.spec.Enabled() {
 		return bf, nil
 	}
-	st := f.t.state(path, bf)
+	st := f.t.state(p, c, path, bf)
 	st.refs++
 	st.closeOnDrain = false
 	return &file{t: f.t, st: st}, nil
@@ -389,28 +589,32 @@ func (f *FS) wrap(bf pfs.File, err error, path string) (pfs.File, error) {
 
 // Create implements pfs.FileSystem: metadata goes to the backing store,
 // and any staged data of a previous incarnation of the path is discarded
-// (truncate semantics).
+// (truncate semantics). The staged state is mutated only after the
+// backing create succeeds — a failed create must leave it intact.
 func (f *FS) Create(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
+	bf, err := f.t.backing.Create(p, c, path)
+	if err != nil {
+		return nil, err
+	}
 	if f.t.spec.Enabled() {
 		if st, ok := f.t.files[pfs.Clean(path)]; ok {
 			f.t.cancel(p, c, st)
 			st.size = 0
 		}
 	}
-	bf, err := f.t.backing.Create(p, c, path)
-	return f.wrap(bf, err, path)
+	return f.wrap(p, c, bf, nil, path)
 }
 
 // Open implements pfs.FileSystem.
 func (f *FS) Open(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
 	bf, err := f.t.backing.Open(p, c, path)
-	return f.wrap(bf, err, path)
+	return f.wrap(p, c, bf, err, path)
 }
 
 // OpenAppend implements pfs.FileSystem.
 func (f *FS) OpenAppend(p *sim.Proc, c *pfs.Client, path string) (pfs.File, error) {
 	bf, err := f.t.backing.OpenAppend(p, c, path)
-	return f.wrap(bf, err, path)
+	return f.wrap(p, c, bf, err, path)
 }
 
 // Stat implements pfs.FileSystem, reporting the logical size (including
@@ -493,18 +697,20 @@ func (f *file) WriteAt(p *sim.Proc, c *pfs.Client, off, n int64, data []byte) {
 	var devEnd sim.Time
 	if buffered > 0 {
 		devEnd = ns.dev.Reserve(buffered)
+		lane := &ns.queues[f.st.class]
 		var seg *segment
-		if len(ns.queue) > 0 {
-			seg = ns.queue[len(ns.queue)-1]
+		if len(*lane) > 0 {
+			seg = (*lane)[len(*lane)-1]
 		}
 		if data == nil && seg != nil && seg.st == f.st && seg.data == nil && seg.off+seg.n == off {
 			seg.n += buffered // coalesce contiguous volume-mode write-back
 		} else {
-			seg = &segment{st: f.st, off: off, n: buffered}
+			t.segSeq++
+			seg = &segment{st: f.st, off: off, n: buffered, seq: t.segSeq}
 			if data != nil {
 				seg.data = append([]byte(nil), data[:buffered]...)
 			}
-			ns.queue = append(ns.queue, seg)
+			*lane = append(*lane, seg)
 		}
 		ns.used += buffered
 		if ns.used > t.stats.MaxUsedBytes {
@@ -513,6 +719,9 @@ func (f *file) WriteAt(p *sim.Proc, c *pfs.Client, off, n int64, data []byte) {
 		f.st.pending += buffered
 		t.pending.Add(buffered)
 		t.stats.AbsorbedBytes += buffered
+		if t.qos.Deadline > 0 && ns.deadlineAt <= p.Now() {
+			ns.deadlineAt = p.Now() + t.qos.Deadline
+		}
 	}
 	if fallback > 0 {
 		var tail []byte
@@ -578,4 +787,5 @@ func (f *file) Close(p *sim.Proc, c *pfs.Client) {
 		return
 	}
 	st.backing.Close(p, c)
+	st.backing = nil // closed: a later open must not close it again
 }

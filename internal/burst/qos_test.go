@@ -1,0 +1,154 @@
+package burst_test
+
+import (
+	"testing"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/sim"
+)
+
+// stageTwoLanes writes a diagnostic file FIRST and a checkpoint file
+// second (so FIFO would drain diagnostics first), then forces a full
+// drain, returning the tier's stats.
+func stageTwoLanes(t *testing.T, qos burst.QoS) burst.Stats {
+	t.Helper()
+	r := newRig(burst.Spec{
+		CapacityBytes: 64 * MB, Rate: 10e9, DrainRate: 1e9,
+		Policy: burst.PolicyEpochEnd, QoS: qos,
+	})
+	r.run(func(p *sim.Proc) {
+		diag, err := r.tier.FS().Create(p, r.c, "/x/diag_000.dat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag.WriteAt(p, r.c, 0, 8*MB, nil)
+		ckpt, err := r.tier.FS().Create(p, r.c, "/x/ckpt_000.dmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt.WriteAt(p, r.c, 0, 8*MB, nil)
+		r.tier.WaitDrained(p)
+		diag.Close(p, r.c)
+		ckpt.Close(p, r.c)
+	})
+	return r.tier.Stats()
+}
+
+// TestPriorityLaneReordersCheckpointAhead is the QoS ordering contract:
+// with the priority lane on, every checkpoint byte drains before the
+// first diagnostic byte even though the diagnostics were queued first;
+// with QoS off, FIFO order drains the diagnostics first.
+func TestPriorityLaneReordersCheckpointAhead(t *testing.T) {
+	st := stageTwoLanes(t, burst.QoS{PriorityLanes: true})
+	ck, dg := st.Class[burst.ClassCheckpoint], st.Class[burst.ClassDiagnostic]
+	if ck.DrainedBytes != 8*MB || dg.DrainedBytes != 8*MB {
+		t.Fatalf("lane bytes: ckpt=%d diag=%d", ck.DrainedBytes, dg.DrainedBytes)
+	}
+	if ck.LastDrainEnd > dg.FirstDrainStart {
+		t.Errorf("priority lane: checkpoint finished at %v, diagnostics started at %v — want ckpt strictly first",
+			ck.LastDrainEnd, dg.FirstDrainStart)
+	}
+
+	st = stageTwoLanes(t, burst.QoS{})
+	ck, dg = st.Class[burst.ClassCheckpoint], st.Class[burst.ClassDiagnostic]
+	if dg.LastDrainEnd > ck.FirstDrainStart {
+		t.Errorf("FIFO: diagnostics finished at %v, checkpoint started at %v — want enqueue order",
+			dg.LastDrainEnd, ck.FirstDrainStart)
+	}
+}
+
+// TestDrainRateLimitStretchesWriteBack checks the QoS bandwidth cap: a
+// 1 MB/s limit must stretch an 8 MB write-back to at least 8 seconds,
+// even though the drain device itself is far faster.
+func TestDrainRateLimitStretchesWriteBack(t *testing.T) {
+	r := newRig(burst.Spec{
+		CapacityBytes: 64 * MB, Rate: 10e9,
+		Policy: burst.PolicyImmediate, QoS: burst.QoS{DrainLimit: 1e6},
+	})
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 8*MB, nil)
+		f.Close(p, r.c)
+	})
+	st := r.tier.Stats()
+	if st.DrainedBytes != 8*MB {
+		t.Fatalf("drained %d", st.DrainedBytes)
+	}
+	if want := float64(8*MB) / 1e6; float64(st.LastDrainEnd) < want {
+		t.Errorf("rate-limited drain finished at %vs, want >= %vs", st.LastDrainEnd, want)
+	}
+}
+
+// TestDeadlinePacingSpreadsDrain checks drain-by-deadline: with a 1 s
+// deadline an 8 MB write-back that would naturally finish in well under
+// 100 ms is paced out to land near the deadline — and a forced drain
+// (WaitDrained) ignores the pacing.
+func TestDeadlinePacingSpreadsDrain(t *testing.T) {
+	spec := burst.Spec{
+		CapacityBytes: 64 * MB, Rate: 10e9,
+		Policy: burst.PolicyImmediate, QoS: burst.QoS{Deadline: 1.0},
+	}
+	r := newRig(spec)
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 8*MB, nil)
+		f.Close(p, r.c)
+	})
+	st := r.tier.Stats()
+	if end := float64(st.LastDrainEnd); end < 0.5 || end > 1.05 {
+		t.Errorf("paced drain finished at %vs, want near the 1 s deadline", end)
+	}
+
+	// Forced drains must not be paced: WaitDrained flushes at full speed.
+	r = newRig(spec)
+	var waited sim.Duration
+	r.run(func(p *sim.Proc) {
+		f, err := r.tier.FS().Create(p, r.c, "/x/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, r.c, 0, 8*MB, nil)
+		t0 := p.Now()
+		r.tier.WaitDrained(p)
+		waited = p.Now() - t0
+		f.Close(p, r.c)
+	})
+	if waited > 0.5 {
+		t.Errorf("forced drain waited %vs, pacing must not apply to flushes", waited)
+	}
+}
+
+// TestDefaultClassify pins the lane classifier's naming convention.
+func TestDefaultClassify(t *testing.T) {
+	for path, want := range map[string]burst.Class{
+		"/out/bit1_000007.dmp":          burst.ClassCheckpoint,
+		"/scratch/a/ckpt_001_e002.dmp":  burst.ClassCheckpoint,
+		"/scratch/checkpoint.bp4/md.0":  burst.ClassDiagnostic, // dir name alone doesn't promote
+		"/scratch/Checkpoint_42":        burst.ClassCheckpoint,
+		"/out/diag_000.dat":             burst.ClassDiagnostic,
+		"/scratch/out.bp4/data.0":       burst.ClassDiagnostic,
+		"/scratch/ckptdir/profiling.js": burst.ClassDiagnostic,
+	} {
+		if got := burst.DefaultClassify(path); got != want {
+			t.Errorf("DefaultClassify(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestQoSZeroValueKeepsFIFO guards against QoS regressions in the plain
+// scheduler: with the zero QoS, cross-file drain order is enqueue order.
+func TestQoSZeroValueKeepsFIFO(t *testing.T) {
+	st := stageTwoLanes(t, burst.QoS{})
+	if st.DrainedBytes != 16*MB || st.DrainOps != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.FirstDrainStart != st.Class[burst.ClassDiagnostic].FirstDrainStart {
+		t.Error("zero QoS must start with the first-enqueued (diagnostic) segment")
+	}
+}

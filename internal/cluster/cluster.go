@@ -191,7 +191,37 @@ type System struct {
 	Burst   *burst.Tier // non-nil when the machine has a burst-buffer spec
 	Nodes   int
 	Clients []*pfs.Client // one per node, shared by the node's ranks
+
+	allocated int // nodes leased to jobs via Allocate
 }
+
+// Allocation is a contiguous slice of a system's nodes leased to one job:
+// the node-level scheduling unit of a multi-job co-schedule. Jobs never
+// share nodes, but every allocation shares the machine's file system (and
+// backbone), which is where cross-job contention lives.
+type Allocation struct {
+	First   int // first node index of the slice
+	Nodes   int
+	Clients []*pfs.Client // the slice's per-node clients
+}
+
+// Allocate leases the next n free nodes to a job. Allocations are
+// contiguous and never overlap; Allocate fails once the machine is full.
+func (s *System) Allocate(n int) (*Allocation, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: allocation needs at least one node")
+	}
+	if s.allocated+n > s.Nodes {
+		return nil, fmt.Errorf("cluster: %s build has %d free node(s), asked for %d",
+			s.Machine.Name, s.Nodes-s.allocated, n)
+	}
+	a := &Allocation{First: s.allocated, Nodes: n, Clients: s.Clients[s.allocated : s.allocated+n]}
+	s.allocated += n
+	return a, nil
+}
+
+// FreeNodes reports how many nodes remain unleased.
+func (s *System) FreeNodes() int { return s.Nodes - s.allocated }
 
 // StagedFS returns the burst-buffer staging file system, or nil when the
 // machine has none. Attach it to posix.Env.Stage so engines can opt in.

@@ -114,3 +114,40 @@ func TestBurstBufferPresets(t *testing.T) {
 		t.Error("a machine without a burst spec must not get a tier")
 	}
 }
+
+func TestAllocateSlicesNodes(t *testing.T) {
+	k := sim.NewKernel()
+	sys, err := Dardel().Build(k, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Allocate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Allocate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.First != 0 || a.Nodes != 4 || b.First != 4 || b.Nodes != 6 {
+		t.Fatalf("allocations overlap or misplace: %+v %+v", a, b)
+	}
+	if len(a.Clients) != 4 || len(b.Clients) != 6 {
+		t.Fatalf("client slices: %d %d", len(a.Clients), len(b.Clients))
+	}
+	if a.Clients[3] == b.Clients[0] {
+		t.Fatal("allocations must not share clients")
+	}
+	if a.Clients[0] != sys.Clients[0] || b.Clients[0] != sys.Clients[4] {
+		t.Fatal("allocation clients must alias the system's per-node clients")
+	}
+	if sys.FreeNodes() != 0 {
+		t.Fatalf("free nodes=%d, want 0", sys.FreeNodes())
+	}
+	if _, err := sys.Allocate(1); err == nil {
+		t.Fatal("allocating past the build size must fail")
+	}
+	if _, err := sys.Allocate(0); err == nil {
+		t.Fatal("zero-node allocation must fail")
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/jobs"
+	"picmcio/internal/sim"
+	"picmcio/internal/units"
+)
+
+// ContentionQoSPolicies names the drain-QoS grid of FigContention, in
+// table order: the plain scheduler, the checkpoint priority lane, the
+// write-back rate limit, and drain-by-next-epoch deadline pacing.
+var ContentionQoSPolicies = []string{"qos-off", "priority", "rate-limit", "deadline"}
+
+// contentionQoS maps a policy name to the staged job's drain QoS.
+func contentionQoS(policy string, epochWindow float64) (burst.QoS, error) {
+	switch policy {
+	case "qos-off":
+		return burst.QoS{}, nil
+	case "priority":
+		return burst.QoS{PriorityLanes: true}, nil
+	case "rate-limit":
+		// Per-node cap well under the PFS-limited burst rate: write-back
+		// yields bandwidth to the neighbour at the cost of a longer tail.
+		return burst.QoS{DrainLimit: 1.5e9}, nil
+	case "deadline":
+		return burst.QoS{Deadline: sim.Duration(epochWindow)}, nil
+	}
+	return burst.QoS{}, fmt.Errorf("figcontention: unknown QoS policy %q", policy)
+}
+
+// ContentionRow is one QoS policy's measurement of the two-job scenario.
+type ContentionRow struct {
+	Policy string
+	Result *jobs.ContentionResult
+}
+
+// contentionSpecs builds the canonical two-job scenario on machine m: a
+// checkpoint-heavy job staging through a per-node burst tier (epoch-end
+// drain, so write-back bursts right when the neighbour writes) next to a
+// job writing directly to the shared PFS. Both stripe across every OST.
+func contentionSpecs(qos burst.QoS, epochs int) []jobs.Spec {
+	wl := jobs.Workload{
+		Epochs:          epochs,
+		CheckpointBytes: 96 * units.MiB,
+		DiagBytes:       32 * units.MiB,
+		ComputeSec:      0.02,
+	}
+	return []jobs.Spec{
+		{
+			Name:  "staged",
+			Nodes: 4,
+			Burst: burst.Spec{
+				CapacityBytes: 2 << 30,
+				Rate:          6e9,
+				PerOp:         25e-6,
+				// PFS-limited drain: write-back bursts at full fabric
+				// speed unless a QoS knob reins it in.
+				DrainRate: 0,
+				Policy:    burst.PolicyEpochEnd,
+				QoS:       qos,
+			},
+			Workload:    wl,
+			StripeCount: -1,
+		},
+		{Name: "direct", Nodes: 4, Workload: wl, StripeCount: -1},
+	}
+}
+
+// FigContention is the multi-job contention artifact: the two-job
+// scenario on Dardel under each drain-QoS policy, reporting per-job
+// slowdown vs an isolated run, apparent and write-back bandwidths, the
+// per-lane drain split, and Jain's fairness index per policy.
+func (o Options) FigContention() (Table, []ContentionRow, error) {
+	o = o.WithDefaults()
+	m := cluster.Dardel()
+	t := Table{
+		Title: "Fig C: multi-job contention on Dardel (staged ckpt-heavy job vs direct neighbour)",
+		Header: []string{"policy", "job", "nodes", "durable", "slowdown",
+			"client GiB/s", "drain GiB/s", "ckpt drained", "diag drained", "Jain"},
+	}
+	var rows []ContentionRow
+	for _, policy := range ContentionQoSPolicies {
+		// The deadline window is one epoch interval: absorb (~22 ms at
+		// NVMe speed) plus the compute phase — "drain by next epoch".
+		qos, err := contentionQoS(policy, 0.04)
+		if err != nil {
+			return t, nil, err
+		}
+		res, err := jobs.Contention(m, contentionSpecs(qos, 3), o.Seed)
+		if err != nil {
+			return t, nil, fmt.Errorf("figcontention %s: %w", policy, err)
+		}
+		rows = append(rows, ContentionRow{Policy: policy, Result: res})
+		for i, j := range res.Jobs {
+			ck, dg := "-", "-"
+			drain := "-"
+			if j.Burst != nil {
+				ck = units.Bytes(j.Burst.Class[burst.ClassCheckpoint].DrainedBytes)
+				dg = units.Bytes(j.Burst.Class[burst.ClassDiagnostic].DrainedBytes)
+				drain = fmt.Sprintf("%.3f", units.GiBps(j.DrainBps))
+			}
+			t.Rows = append(t.Rows, []string{
+				policy, j.Name, fmt.Sprint(j.Nodes),
+				units.Seconds(j.DurableSec),
+				fmt.Sprintf("%.3fx", res.Slowdown[i]),
+				fmt.Sprintf("%.3f", units.GiBps(j.ClientBps)),
+				drain, ck, dg,
+				fmt.Sprintf("%.4f", res.Jain),
+			})
+		}
+	}
+	return t, rows, nil
+}

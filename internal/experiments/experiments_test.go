@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"picmcio/internal/bit1"
+	"picmcio/internal/cephfs"
 	"picmcio/internal/cluster"
+	"picmcio/internal/nfs"
 )
 
 // testOptions keeps unit-test runs light: 8 ranks/node, 2 epochs.
@@ -174,16 +176,60 @@ func TestListing1Format(t *testing.T) {
 }
 
 func TestMeasuredRatio(t *testing.T) {
-	if r := MeasuredRatio("none"); r != 1 {
-		t.Fatalf("none ratio=%v", r)
+	if r, err := MeasuredRatio("none"); err != nil || r != 1 {
+		t.Fatalf("none ratio=%v err=%v", r, err)
 	}
-	rb := MeasuredRatio("blosc")
+	rb, err := MeasuredRatio("blosc")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rb <= 0 || rb >= 1 {
 		t.Fatalf("blosc ratio=%v, want in (0,1)", rb)
 	}
 	// Cached second call must agree.
-	if rb2 := MeasuredRatio("blosc"); rb2 != rb {
-		t.Fatalf("ratio cache inconsistent: %v vs %v", rb, rb2)
+	if rb2, err := MeasuredRatio("blosc"); err != nil || rb2 != rb {
+		t.Fatalf("ratio cache inconsistent: %v vs %v (err=%v)", rb, rb2, err)
+	}
+	// An unknown codec must surface the error, not silently assume 1.
+	if r, err := MeasuredRatio("lz-nope"); err == nil {
+		t.Fatalf("unknown codec returned ratio %v with no error", r)
+	}
+}
+
+// TestFileStatsOnAllBackends pins the namespaceOf fix: Table II file
+// statistics must come back nonzero on NFS- and CephFS-backed machines,
+// not only on Lustre.
+func TestFileStatsOnAllBackends(t *testing.T) {
+	o := Options{Seed: 1, RanksPerNode: 4, NodeCounts: []int{1}, DiagEpochs: 1}
+	for _, m := range []cluster.Machine{nfsMachine(), cephMachine()} {
+		r, err := o.RunBIT1Public(m, 1, bit1.IOOpenPMD, aggrTOML(1, "", 1))
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if r.Files.Count == 0 || r.Files.TotalBytes == 0 {
+			t.Errorf("%s: file stats empty: %+v", m.Name, r.Files)
+		}
+		if r.Profile == nil {
+			t.Errorf("%s: BP4 profile missing", m.Name)
+		}
+	}
+}
+
+// nfsMachine is a small single-server NFS machine for backend coverage.
+func nfsMachine() cluster.Machine {
+	return cluster.Machine{
+		Name: "nfs-box", MaxNodes: 8, CoresPerNode: 8, NICRate: 10e9,
+		NetAlpha: 2e-6, NetBeta: 1.0 / 25e9,
+		Storage: cluster.StorageNFS, NFS: nfs.DefaultParams(),
+	}
+}
+
+// cephMachine is a small CephFS machine for backend coverage.
+func cephMachine() cluster.Machine {
+	return cluster.Machine{
+		Name: "ceph-box", MaxNodes: 8, CoresPerNode: 8, NICRate: 10e9,
+		NetAlpha: 2e-6, NetBeta: 1.0 / 25e9,
+		Storage: cluster.StorageCephFS, Ceph: cephfs.DefaultParams(),
 	}
 }
 
@@ -227,6 +273,43 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 	if a.ThroughputGiBs != b.ThroughputGiBs {
 		t.Fatalf("runs diverged: %v vs %v", a.ThroughputGiBs, b.ThroughputGiBs)
+	}
+}
+
+func TestFigContention(t *testing.T) {
+	o := testOptions()
+	tab, rows, err := o.FigContention()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ContentionQoSPolicies) {
+		t.Fatalf("rows=%d, want one per policy", len(rows))
+	}
+	if len(tab.Rows) != 2*len(rows) {
+		t.Fatalf("table rows=%d, want two jobs per policy", len(tab.Rows))
+	}
+	for _, row := range rows {
+		res := row.Result
+		// Acceptance: co-scheduling must show measurable interference.
+		if res.MaxSlowdown() <= 1.0 {
+			t.Errorf("%s: max slowdown %.4f, want > 1.0", row.Policy, res.MaxSlowdown())
+		}
+		if res.Jain <= 0 || res.Jain > 1 {
+			t.Errorf("%s: Jain %.4f out of (0,1]", row.Policy, res.Jain)
+		}
+	}
+	// The rate limit must take interference pressure off the neighbour.
+	byPolicy := map[string]*ContentionRow{}
+	for i := range rows {
+		byPolicy[rows[i].Policy] = &rows[i]
+	}
+	off, lim := byPolicy["qos-off"], byPolicy["rate-limit"]
+	if off == nil || lim == nil {
+		t.Fatal("policy grid incomplete")
+	}
+	if lim.Result.Slowdown[1] >= off.Result.Slowdown[1] {
+		t.Errorf("rate limit did not reduce the direct job's slowdown: %.3f vs %.3f",
+			lim.Result.Slowdown[1], off.Result.Slowdown[1])
 	}
 }
 

@@ -186,7 +186,10 @@ func (o Options) Fig6(nodes int, aggs []int) (Series, error) {
 func (o Options) Fig7() ([]Series, error) {
 	o = o.WithDefaults()
 	m := cluster.Dardel()
-	ratio := MeasuredRatio("blosc")
+	ratio, err := MeasuredRatio("blosc")
+	if err != nil {
+		return nil, err
+	}
 	orig := Series{Label: "BIT1 Original I/O", XLabel: "nodes", YLabel: "GiB/s"}
 	blosc := Series{Label: "openPMD+BP4+Blosc 1AGGR", XLabel: "nodes", YLabel: "GiB/s"}
 	plain := Series{Label: "openPMD+BP4 1AGGR", XLabel: "nodes", YLabel: "GiB/s"}
@@ -231,7 +234,11 @@ func (o Options) Fig8(nodes int) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	blosc, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, aggrTOML(1, "blosc", MeasuredRatio("blosc")))
+	ratio, err := MeasuredRatio("blosc")
+	if err != nil {
+		return nil, err
+	}
+	blosc, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, aggrTOML(1, "blosc", ratio))
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +285,10 @@ func (o Options) Tab2() (Table, error) {
 		Title:  "Table II: BIT1 write files on Dardel CPU LFS",
 		Header: []string{"configuration", "nodes", "total files", "avg size", "max size"},
 	}
-	ratio := MeasuredRatio("blosc")
+	ratio, err := MeasuredRatio("blosc")
+	if err != nil {
+		return t, err
+	}
 	for _, cfgName := range Tab2Configs {
 		for _, nodes := range o.NodeCounts {
 			var r *RunResult
@@ -322,7 +332,10 @@ func (o Options) Fig9(nodes int, sizes []int64, counts []int) (Table, error) {
 		counts = Fig9OSTCounts
 	}
 	m := cluster.Dardel()
-	ratio := MeasuredRatio("blosc")
+	ratio, err := MeasuredRatio("blosc")
+	if err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:  fmt.Sprintf("Fig 9: write time (s), openPMD+BP4+Blosc, 1 AGGR, %d nodes", nodes),
 		Header: []string{"stripe size"},
@@ -347,7 +360,11 @@ func (o Options) Fig9(nodes int, sizes []int64, counts []int) (Table, error) {
 // Fig9CellPublic measures one striping cell on Dardel (exported for the
 // striping-tuning example and ablation benches).
 func (o Options) Fig9CellPublic(nodes, stripeCount int, stripeSize int64) (float64, error) {
-	return o.fig9Cell(cluster.Dardel(), nodes, stripeCount, stripeSize, MeasuredRatio("blosc"))
+	ratio, err := MeasuredRatio("blosc")
+	if err != nil {
+		return 0, err
+	}
+	return o.fig9Cell(cluster.Dardel(), nodes, stripeCount, stripeSize, ratio)
 }
 
 // fig9Cell measures the aggregator's data write time for one striping

@@ -250,9 +250,13 @@ func isAppendMode(path string) bool {
 		strings.Contains(path, "_global_")
 }
 
+// namespaceOf exposes the backend's file tree regardless of which file
+// system the machine attaches — Lustre, NFS and CephFS all implement
+// pfs.Namespacer, so FileStats and profile extraction work on every
+// backend instead of silently returning zero off-Lustre.
 func namespaceOf(sys *cluster.System) *pfs.Namespace {
-	if sys.Lustre != nil {
-		return sys.Lustre.Namespace()
+	if n, ok := sys.FS.(pfs.Namespacer); ok {
+		return n.Namespace()
 	}
 	return nil
 }
@@ -292,19 +296,21 @@ var ratioCache sync.Map
 
 // MeasuredRatio compresses a real sampled PIC payload with the named
 // codec and returns the compression ratio that volume-mode runs assume.
-func MeasuredRatio(codec string) float64 {
+// An unknown codec is an error — silently assuming ratio 1 would make a
+// typo'd configuration masquerade as "compression doesn't help".
+func MeasuredRatio(codec string) (float64, error) {
 	if codec == "" || codec == "none" {
-		return 1
+		return 1, nil
 	}
 	if v, ok := ratioCache.Load(codec); ok {
-		return v.(float64)
+		return v.(float64), nil
 	}
 	c, err := compress.New(codec, 8)
 	if err != nil {
-		return 1
+		return 0, err
 	}
 	payload := workload.Float64sToBytes(workload.SamplePayload(1<<16, 42))
 	r := compress.Ratio(c, payload)
 	ratioCache.Store(codec, r)
-	return r
+	return r, nil
 }

@@ -1,0 +1,307 @@
+// Package jobs models multi-job contention: several simulated jobs
+// co-scheduled on one cluster.System, each with its own node allocation,
+// its own burst-buffer tier and workload, all sharing the backing
+// parallel file system. Drain traffic from one job's staging tier and
+// another job's direct writes meet on the same OST and backbone servers,
+// so interference emerges from the queueing model rather than being
+// asserted — the shared-resource scheduling problem production machines
+// like Dardel and Vega face when many jobs run at once.
+//
+// Contention runs every job co-scheduled and then each job alone on an
+// otherwise idle machine, reporting per-job slowdown (co-scheduled
+// durable-completion time over isolated) and Jain's fairness index over
+// the jobs' achieved drain bandwidths. The drain QoS knobs (burst.QoS:
+// priority lanes, rate limit, deadline pacing) are the levers the index
+// responds to.
+package jobs
+
+import (
+	"fmt"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/pfs"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+)
+
+// Workload is one job's per-node output pattern: every epoch each node
+// writes a checkpoint file and a diagnostic file (classified into the
+// matching drain lanes by name), then computes. One writer process per
+// node stands in for the node's aggregator rank, keeping event counts
+// proportional to nodes rather than ranks.
+type Workload struct {
+	Epochs          int
+	CheckpointBytes int64        // checkpoint bytes per node per epoch
+	DiagBytes       int64        // diagnostic bytes per node per epoch
+	ComputeSec      sim.Duration // compute phase between epochs
+}
+
+// bytesPerNode is one node's total output over the run.
+func (w Workload) bytesPerNode() int64 {
+	return int64(w.Epochs) * (w.CheckpointBytes + w.DiagBytes)
+}
+
+// Spec describes one job of a co-schedule.
+type Spec struct {
+	Name  string
+	Nodes int
+	// Burst sizes the job's private staging tier; the zero value makes
+	// the job write directly to the shared PFS. The spec's QoS field
+	// carries the job's drain QoS policy.
+	Burst    burst.Spec
+	Workload Workload
+
+	// StripeCount widens the job's output directory striping on
+	// Lustre-backed machines (-1 = all OSTs, 0 = machine default).
+	// Checkpoint directories are conventionally striped wide, and wide
+	// stripes are what make co-scheduled jobs share OSTs.
+	StripeCount int
+	StripeSize  int64 // stripe size in bytes; 0 = 4 MiB
+}
+
+// dir is the job's output directory on the shared file system.
+func (s Spec) dir() string { return "/scratch/" + s.Name }
+
+// Result is one job's measurements from a co-scheduled or isolated run.
+type Result struct {
+	Name  string
+	Nodes int
+
+	AppSec       float64 // virtual time until the job's last writer finished its epochs
+	DurableSec   float64 // until every byte of the job was PFS-durable
+	BytesWritten int64
+	ClientBps    float64 // apparent client-side bandwidth: bytes / AppSec
+	DrainBps     float64 // achieved write-back bandwidth (0 for direct jobs)
+
+	Burst *burst.Stats // staging-tier accounting; nil for direct jobs
+}
+
+// FairShareBps is the bandwidth the fairness index weighs for this job:
+// the achieved drain bandwidth for staged jobs, the apparent client
+// bandwidth for direct jobs (their "drain" is the write itself).
+func (r Result) FairShareBps() float64 {
+	if r.Burst != nil {
+		return r.DrainBps
+	}
+	return r.ClientBps
+}
+
+// ContentionResult compares the co-scheduled run against isolated runs.
+type ContentionResult struct {
+	Jobs     []Result // co-scheduled measurements, in spec order
+	Isolated []Result // the same jobs each run alone on the machine
+
+	// Slowdown is per-job DurableSec(co-scheduled)/DurableSec(isolated);
+	// > 1.0 means measurable cross-job interference.
+	Slowdown []float64
+	// Jain is Jain's fairness index over the co-scheduled jobs'
+	// FairShareBps: 1.0 = perfectly even shares, 1/n = one job has it all.
+	Jain float64
+}
+
+// MaxSlowdown reports the worst per-job slowdown (0 with no jobs).
+func (c *ContentionResult) MaxSlowdown() float64 {
+	max := 0.0
+	for _, s := range c.Slowdown {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// JainIndex computes Jain's fairness index (Σx)² / (n·Σx²) over the
+// allocations: 1.0 when all shares are equal, approaching 1/n as one
+// share dominates. It returns 0 for empty or all-zero input.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Contention co-schedules the jobs on machine m, re-runs each job alone,
+// and reports slowdowns and fairness.
+func Contention(m cluster.Machine, specs []Spec, seed uint64) (*ContentionResult, error) {
+	co, err := Run(m, specs, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &ContentionResult{Jobs: co, Slowdown: make([]float64, len(specs))}
+	shares := make([]float64, len(specs))
+	for i := range specs {
+		iso, err := Run(m, specs[i:i+1], seed)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: isolated %s: %w", specs[i].Name, err)
+		}
+		res.Isolated = append(res.Isolated, iso[0])
+		if iso[0].DurableSec > 0 {
+			res.Slowdown[i] = co[i].DurableSec / iso[0].DurableSec
+		}
+		shares[i] = co[i].FairShareBps()
+	}
+	res.Jain = JainIndex(shares)
+	return res, nil
+}
+
+// Run launches the specs concurrently on one build of machine m and
+// returns per-job results in spec order. Each job gets a contiguous node
+// allocation and (when its burst spec is enabled) a private staging tier
+// over the machine's shared file system.
+func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("jobs: no job specs")
+	}
+	total := 0
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("jobs: spec %d has no name", i)
+		}
+		if s.Nodes < 1 {
+			return nil, fmt.Errorf("jobs: job %s needs at least one node", s.Name)
+		}
+		if s.Workload.Epochs < 1 {
+			return nil, fmt.Errorf("jobs: job %s needs at least one epoch", s.Name)
+		}
+		total += s.Nodes
+	}
+	k := sim.NewKernel()
+	sys, err := m.Build(k, total, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	rts := make([]jobRT, len(specs))
+	for i := range specs {
+		spec := specs[i]
+		rt := &rts[i]
+		alloc, err := sys.Allocate(spec.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		if spec.StripeCount != 0 && sys.Lustre != nil {
+			size := spec.StripeSize
+			if size == 0 {
+				size = 4 << 20
+			}
+			if err := sys.Lustre.SetStripe(spec.dir(), spec.StripeCount, size); err != nil {
+				return nil, fmt.Errorf("jobs: job %s: %w", spec.Name, err)
+			}
+		}
+		if spec.Burst.Enabled() {
+			rt.tier = burst.NewTier(k, spec.Burst, sys.FS)
+		}
+		for n := 0; n < spec.Nodes; n++ {
+			node, client := n, alloc.Clients[n]
+			k.Spawn(fmt.Sprintf("job.%s.%d", spec.Name, node), func(p *sim.Proc) {
+				runNode(p, sys.FS, spec, node, client, rt)
+			})
+		}
+	}
+	k.Run()
+
+	out := make([]Result, len(specs))
+	for i, spec := range specs {
+		rt := &rts[i]
+		if rt.err != nil {
+			return nil, fmt.Errorf("jobs: job %s: %w", spec.Name, rt.err)
+		}
+		r := Result{
+			Name:         spec.Name,
+			Nodes:        spec.Nodes,
+			AppSec:       float64(rt.appEnd),
+			DurableSec:   float64(rt.durEnd),
+			BytesWritten: rt.written,
+		}
+		if r.AppSec > 0 {
+			r.ClientBps = float64(r.BytesWritten) / r.AppSec
+		}
+		if rt.tier != nil {
+			st := rt.tier.Stats()
+			r.Burst = &st
+			r.DrainBps = st.DrainBandwidth()
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// jobRT accumulates one job's run-time state across its node processes.
+// The sim kernel serializes processes, so plain fields are safe.
+type jobRT struct {
+	tier    *burst.Tier
+	appEnd  sim.Time
+	durEnd  sim.Time
+	written int64
+	err     error
+}
+
+// runNode is one node's writer process: per epoch, a checkpoint file and
+// a diagnostic file (unique paths, so nothing truncate-cancels pending
+// write-back), an epoch-close drain nudge, then the compute phase. It
+// records the job's app end (last write returned) and durable end (every
+// staged byte written back) high-water marks on the shared jobRT.
+func runNode(p *sim.Proc, direct pfs.FileSystem, spec Spec, node int, client *pfs.Client, rt *jobRT) {
+	fsx := direct
+	if rt.tier != nil {
+		fsx = rt.tier.FS()
+	}
+	env := &posix.Env{FS: fsx, Client: client}
+	dir := spec.dir()
+	wl := spec.Workload
+	for e := 0; e < wl.Epochs; e++ {
+		if wl.CheckpointBytes > 0 {
+			path := fmt.Sprintf("%s/ckpt_%03d_e%03d.dmp", dir, node, e)
+			if err := writeFile(p, env, path, wl.CheckpointBytes); err != nil {
+				rt.fail(err)
+				return
+			}
+		}
+		if wl.DiagBytes > 0 {
+			path := fmt.Sprintf("%s/diag_%03d_e%03d.dat", dir, node, e)
+			if err := writeFile(p, env, path, wl.DiagBytes); err != nil {
+				rt.fail(err)
+				return
+			}
+		}
+		if rt.tier != nil {
+			rt.tier.DrainEpoch(p)
+		}
+		if wl.ComputeSec > 0 {
+			p.Sleep(wl.ComputeSec)
+		}
+	}
+	rt.written += wl.bytesPerNode()
+	if now := p.Now(); now > rt.appEnd {
+		rt.appEnd = now
+	}
+	if rt.tier != nil {
+		rt.tier.WaitDrained(p)
+	}
+	if now := p.Now(); now > rt.durEnd {
+		rt.durEnd = now
+	}
+}
+
+func (rt *jobRT) fail(err error) {
+	if rt.err == nil {
+		rt.err = err
+	}
+}
+
+// writeFile creates path and writes n volume-mode bytes through it.
+func writeFile(p *sim.Proc, env *posix.Env, path string, n int64) error {
+	fd, err := env.Create(p, path)
+	if err != nil {
+		return err
+	}
+	fd.Write(p, n, nil)
+	fd.Close(p)
+	return nil
+}

@@ -1,0 +1,148 @@
+package jobs_test
+
+import (
+	"math"
+	"testing"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/jobs"
+	"picmcio/internal/units"
+)
+
+// testSpecs is the canonical two-job contention scenario: a checkpoint-
+// heavy staged job and a neighbour writing directly to the shared PFS,
+// both striped across every OST so their traffic genuinely collides.
+func testSpecs(qos burst.QoS) []jobs.Spec {
+	staged := jobs.Spec{
+		Name:  "ckpt",
+		Nodes: 2,
+		Burst: burst.Spec{
+			CapacityBytes: 2 << 30,
+			Rate:          6e9,
+			PerOp:         25e-6,
+			DrainRate:     3e9,
+			Policy:        burst.PolicyEpochEnd,
+			QoS:           qos,
+		},
+		Workload: jobs.Workload{
+			Epochs:          3,
+			CheckpointBytes: 96 * units.MiB,
+			DiagBytes:       32 * units.MiB,
+			ComputeSec:      0.02,
+		},
+		StripeCount: -1,
+	}
+	direct := jobs.Spec{
+		Name:  "direct",
+		Nodes: 2,
+		Workload: jobs.Workload{
+			Epochs:          3,
+			CheckpointBytes: 96 * units.MiB,
+			DiagBytes:       32 * units.MiB,
+			ComputeSec:      0.02,
+		},
+		StripeCount: -1,
+	}
+	return []jobs.Spec{staged, direct}
+}
+
+func TestContentionInterferenceIsNonzero(t *testing.T) {
+	res, err := jobs.Contention(cluster.Dardel(), testSpecs(burst.QoS{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 || len(res.Isolated) != 2 {
+		t.Fatalf("jobs=%d isolated=%d", len(res.Jobs), len(res.Isolated))
+	}
+	for i, r := range res.Jobs {
+		if r.BytesWritten != res.Isolated[i].BytesWritten || r.BytesWritten == 0 {
+			t.Fatalf("job %s wrote %d co-scheduled vs %d isolated", r.Name, r.BytesWritten, res.Isolated[i].BytesWritten)
+		}
+	}
+	// Co-scheduling must cost something: the direct job's writes queue
+	// behind the staged job's drain traffic on the shared OSTs/backbone.
+	if s := res.Slowdown[1]; s <= 1.0 {
+		t.Errorf("direct job slowdown %.4f, want > 1.0 (interference must be nonzero)", s)
+	}
+	if res.MaxSlowdown() <= 1.0 {
+		t.Errorf("max slowdown %.4f, want > 1.0", res.MaxSlowdown())
+	}
+}
+
+func TestContentionFairnessIndexInUnitInterval(t *testing.T) {
+	res, err := jobs.Contention(cluster.Dardel(), testSpecs(burst.QoS{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jain <= 0 || res.Jain > 1 {
+		t.Errorf("Jain index %.4f, want in (0, 1]", res.Jain)
+	}
+	// Both jobs move the same bytes; shares should not be degenerate.
+	if res.Jain < 1.0/float64(len(res.Jobs)) {
+		t.Errorf("Jain index %.4f below the 1/n floor", res.Jain)
+	}
+}
+
+func TestIsolatedRunsAreDeterministic(t *testing.T) {
+	a, err := jobs.Run(cluster.Dardel(), testSpecs(burst.QoS{})[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := jobs.Run(cluster.Dardel(), testSpecs(burst.QoS{})[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].DurableSec != b[0].DurableSec || a[0].ClientBps != b[0].ClientBps {
+		t.Fatalf("runs diverged: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestStagedJobAbsorbsAndDrains(t *testing.T) {
+	res, err := jobs.Run(cluster.Dardel(), testSpecs(burst.QoS{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged := res[0]
+	if staged.Burst == nil {
+		t.Fatal("staged job must carry tier stats")
+	}
+	if staged.Burst.AbsorbedBytes == 0 || staged.Burst.DrainedBytes != staged.Burst.AbsorbedBytes {
+		t.Fatalf("absorbed=%d drained=%d", staged.Burst.AbsorbedBytes, staged.Burst.DrainedBytes)
+	}
+	if staged.DrainBps <= 0 {
+		t.Fatal("staged job must report achieved drain bandwidth")
+	}
+	if direct := res[1]; direct.Burst != nil || direct.DrainBps != 0 {
+		t.Fatalf("direct job must not carry tier stats: %+v", direct)
+	}
+	// Both lanes saw traffic: checkpoints and diagnostics drained.
+	ck := staged.Burst.Class[burst.ClassCheckpoint].DrainedBytes
+	dg := staged.Burst.Class[burst.ClassDiagnostic].DrainedBytes
+	if ck == 0 || dg == 0 || ck+dg != staged.Burst.DrainedBytes {
+		t.Fatalf("lane accounting: ckpt=%d diag=%d total=%d", ck, dg, staged.Burst.DrainedBytes)
+	}
+}
+
+func TestAllocationExhaustionFails(t *testing.T) {
+	specs := testSpecs(burst.QoS{})
+	specs[0].Nodes = cluster.Dardel().MaxNodes
+	if _, err := jobs.Run(cluster.Dardel(), specs, 1); err == nil {
+		t.Fatal("over-subscribed co-schedule must fail")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if j := jobs.JainIndex(nil); j != 0 {
+		t.Fatalf("empty=%v", j)
+	}
+	if j := jobs.JainIndex([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares=%v, want 1", j)
+	}
+	if j := jobs.JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("one-taker=%v, want 1/4", j)
+	}
+	if j := jobs.JainIndex([]float64{3, 1}); j <= 0.5 || j >= 1 {
+		t.Fatalf("skewed=%v, want in (0.5, 1)", j)
+	}
+}

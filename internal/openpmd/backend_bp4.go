@@ -45,15 +45,24 @@ func newBP4Backend(s *Series) (*bp4Backend, error) {
 	// Burst-buffer staging: `burst_buffer = true` (top level or under
 	// [adios2.engine]) routes engine I/O through the host environment's
 	// staging tier; `burst_durability = "pfs"` makes iteration close wait
-	// for write-back instead of returning at buffered durability.
-	for _, key := range []string{"burst_buffer", "adios2.engine.burst_buffer"} {
-		if v, ok := s.cfg.Get(key); ok {
-			io.SetParameter("BurstBuffer", v)
-		}
+	// for write-back instead of returning at buffered durability. The
+	// drain QoS knobs tune the tier's write-back scheduler at open time:
+	// `burst_qos_priority = true` drains checkpoint segments before
+	// diagnostics, `burst_drain_limit` caps write-back bytes/second, and
+	// `burst_drain_deadline` paces each epoch's write-back across the
+	// given window in seconds ("drain by next epoch").
+	burstKeys := []struct{ toml, param string }{
+		{"burst_buffer", "BurstBuffer"},
+		{"burst_durability", "BurstDurability"},
+		{"burst_qos_priority", "BurstQoSPriority"},
+		{"burst_drain_limit", "BurstDrainLimit"},
+		{"burst_drain_deadline", "BurstDrainDeadline"},
 	}
-	for _, key := range []string{"burst_durability", "adios2.engine.burst_durability"} {
-		if v, ok := s.cfg.Get(key); ok {
-			io.SetParameter("BurstDurability", v)
+	for _, bk := range burstKeys {
+		for _, key := range []string{bk.toml, "adios2.engine." + bk.toml} {
+			if v, ok := s.cfg.Get(key); ok {
+				io.SetParameter(bk.param, v)
+			}
 		}
 	}
 	b := &bp4Backend{s: s, io: io}

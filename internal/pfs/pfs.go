@@ -89,6 +89,14 @@ type Stager interface {
 	DrainEpoch(p *sim.Proc)
 }
 
+// Namespacer is implemented by every concrete backend (Lustre, NFS,
+// CephFS): it exposes the in-memory file tree for offline inspection —
+// file statistics, profile extraction, tool clones — without charging
+// simulated time.
+type Namespacer interface {
+	Namespace() *Namespace
+}
+
 // Clean normalizes a path to an absolute slash-separated form with no
 // trailing slash (except for the root itself).
 func Clean(path string) string {
