@@ -1,13 +1,16 @@
-# Developer entry points. CI runs `make check bench`.
+# Developer entry points. CI runs `make check`, `make bench-compare` and
+# `make smoke` across the build matrix.
 
-# pipefail so a b.Fatal in a benchmark fails the bench recipe even though
-# its output is piped into benchjson.
+# -ec so every recipe line must succeed; pipefail as a belt-and-braces
+# default, though bench deliberately avoids pipes: each stage writes an
+# intermediate file, so a b.Fatal in `go test -bench` fails its own line
+# instead of being masked by the consumer's exit status.
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 GO ?= go
 
-.PHONY: check test vet bench clean
+.PHONY: check test vet bench bench-compare smoke clean
 
 check: vet test
 
@@ -17,14 +20,36 @@ vet:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
-# bench runs the burst-buffer and multi-job contention benchmarks once and
-# writes their metrics as machine-readable JSON (BENCH_contention.json),
-# the regression record CI archives alongside the text log.
+# bench runs the scenario-axis benchmarks once (burst staging, multi-job
+# contention, fault injection) and converts each text log into the
+# machine-readable JSON record CI archives and gates on.
 bench:
-	$(GO) test -bench 'BenchmarkBurstBuffer$$|BenchmarkContention$$' -benchtime=1x -run '^$$' . \
-		| tee BENCH_contention.txt \
-		| $(GO) run ./cmd/benchjson -o BENCH_contention.json
-	@cat BENCH_contention.json
+	$(GO) test -bench 'BenchmarkBurstBuffer$$|BenchmarkContention$$' -benchtime=1x -run '^$$' . > BENCH_contention.txt
+	cat BENCH_contention.txt
+	$(GO) run ./cmd/benchjson -o BENCH_contention.json < BENCH_contention.txt
+	$(GO) test -bench 'BenchmarkFault$$' -benchtime=1x -run '^$$' . > BENCH_fault.txt
+	cat BENCH_fault.txt
+	$(GO) run ./cmd/benchjson -o BENCH_fault.json < BENCH_fault.txt
+
+# bench-compare is the regression gate: fresh results must stay within
+# 25% of the committed baselines (bench/*.json) on every throughput
+# metric. Refresh a baseline deliberately with:
+#   make bench && cp BENCH_contention.json BENCH_fault.json bench/
+bench-compare: bench
+	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_contention.json BENCH_contention.json
+	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_fault.json BENCH_fault.json
+
+# smoke builds and runs every example with its interesting flag
+# combinations so examples cannot silently rot.
+smoke:
+	$(GO) build ./...
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ionization
+	$(GO) run ./examples/striping-tuning
+	$(GO) run ./examples/checkpoint-restart
+	$(GO) run ./examples/checkpoint-restart -burst
+	$(GO) run ./examples/checkpoint-restart -burst -kill
+	$(GO) run ./examples/multi-job
 
 clean:
-	rm -f BENCH_contention.json BENCH_contention.txt
+	rm -f BENCH_contention.json BENCH_contention.txt BENCH_fault.json BENCH_fault.txt

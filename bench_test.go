@@ -216,11 +216,66 @@ func BenchmarkContention(b *testing.B) {
 		b.ReportMetric(off.Result.Jain, "qosoff_jain")
 		b.ReportMetric(lim.Result.Slowdown[1], "ratelimit_direct_slowdown_x")
 		b.ReportMetric(lim.Result.Jain, "ratelimit_jain")
+		// The gated throughput metric (benchjson -compare fails on >25%
+		// drops of *Bps metrics): the staged job's achieved write-back
+		// bandwidth under the plain scheduler.
+		b.ReportMetric(off.Result.Jobs[0].DrainBps/(1<<30), "qosoff_staged_drain_GiBps")
 		if off.Result.MaxSlowdown() <= 1.0 {
 			b.Fatalf("co-scheduled slowdown %.4f, interference must be > 1.0", off.Result.MaxSlowdown())
 		}
 		if lim.Result.Slowdown[1] >= off.Result.Slowdown[1] {
 			b.Fatal("rate-limit QoS must reduce the neighbour's slowdown")
+		}
+	}
+}
+
+// BenchmarkFault measures the fault-injection scenario (the third
+// post-paper scenario axis): a staged victim job loses a node mid-epoch.
+// Deferred write-back must cost strictly more restart work than immediate
+// draining, and the NVMe-surviving restart must resume from at least as
+// late an epoch as the node-loss restart while redraining at real drain
+// bandwidth (the gated throughput metric).
+func BenchmarkFault(b *testing.B) {
+	o := experiments.Options{Seed: 1}
+	for i := 0; i < b.N; i++ {
+		_, cells, err := o.FigFault()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lost := map[string]int{}
+		cost := map[string]float64{}
+		for _, c := range cells {
+			if c.QoS != "qos-off" {
+				continue
+			}
+			lost[c.Policy.String()] += c.Report.LostEpochsPFS
+			cost[c.Policy.String()] += c.VictimDurable - c.CleanDurable
+		}
+		b.ReportMetric(float64(lost["immediate"]), "immediate_lost_epochs")
+		b.ReportMetric(float64(lost["epoch-end"]), "epochend_lost_epochs")
+		b.ReportMetric(float64(lost["watermark"]), "watermark_lost_epochs")
+		b.ReportMetric(cost["immediate"], "immediate_fault_cost_s")
+		b.ReportMetric(cost["epoch-end"], "epochend_fault_cost_s")
+		if lost["epoch-end"] <= lost["immediate"] {
+			b.Fatalf("epoch-end lost %d epochs vs immediate %d: deferring write-back must cost restart work",
+				lost["epoch-end"], lost["immediate"])
+		}
+		if lost["watermark"] < lost["epoch-end"] {
+			b.Fatalf("watermark lost %d epochs vs epoch-end %d", lost["watermark"], lost["epoch-end"])
+		}
+		sc, err := o.FigFaultSurvival()
+		if err != nil {
+			b.Fatal(err)
+		}
+		nl, nk := sc.NodeLoss, sc.NVMeKeep
+		b.ReportMetric(float64(nl.Fault.LostBytes)/(1<<20), "nodeloss_lost_MiB")
+		b.ReportMetric(float64(nk.Fault.RedrainBytes)/(1<<20), "redrain_MiB")
+		b.ReportMetric(nk.DrainBps/(1<<30), "redrain_GiBps")
+		if nk.Fault.RestartEpoch < nl.Fault.RestartEpoch {
+			b.Fatal("NVMe survival must not restart earlier than node loss")
+		}
+		if nk.DrainBps <= 0 {
+			b.Fatal("surviving staged state must redrain at nonzero bandwidth")
 		}
 	}
 }

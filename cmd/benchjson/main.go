@@ -12,6 +12,18 @@
 //	BenchmarkName-8   1   123456 ns/op   1.886 max_slowdown_x ...
 //
 // becomes an entry with the iteration count and every metric pair.
+//
+// Compare mode is CI's bench-regression gate:
+//
+//	go run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_contention.json BENCH_contention.json
+//
+// It matches the candidate file's benchmarks against the committed
+// baseline and fails (exit 1) when any throughput metric — a metric
+// whose unit name ends in "Bps" (GiBps, _bps, …) — regresses by more
+// than the threshold fraction, or when a baseline benchmark is missing
+// from the candidate. Other metrics (seconds, counts, indices) are
+// reported for context but do not gate: the simulator is deterministic,
+// but they carry no better-is-bigger orientation.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -41,7 +54,19 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_contention.json", "output JSON path ('-' for stdout)")
+	compare := flag.Bool("compare", false, "compare mode: benchjson -compare <baseline.json> <candidate.json>")
+	threshold := flag.Float64("threshold", 0.25, "compare mode: fail when a throughput metric drops by more than this fraction")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("compare mode needs exactly two files: baseline and candidate (got %d)", flag.NArg()))
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -116,6 +141,93 @@ func parseBench(line string) (Result, error) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, nil
+}
+
+// loadReport reads a benchjson-format JSON file.
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// throughputMetric reports whether a metric's unit names a bandwidth
+// (higher is better): GiBps, MiBps, _bps and friends.
+func throughputMetric(unit string) bool {
+	u := strings.ToLower(unit)
+	return strings.HasSuffix(u, "bps")
+}
+
+// compareFiles is the regression gate: every baseline benchmark must be
+// present in the candidate, and no throughput metric may drop by more
+// than threshold. Regressions are collected (not first-fail) so one CI
+// run shows the whole picture.
+func compareFiles(basePath, candPath string, threshold float64) error {
+	base, err := loadReport(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadReport(candPath)
+	if err != nil {
+		return err
+	}
+	byName := map[string]Result{}
+	for _, b := range cand.Benchmarks {
+		byName[b.Name] = b
+	}
+	var regressions []string
+	for _, old := range base.Benchmarks {
+		cur, ok := byName[old.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: benchmark missing from candidate", old.Name))
+			continue
+		}
+		units := make([]string, 0, len(old.Metrics))
+		for unit := range old.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov := old.Metrics[unit]
+			nv, ok := cur.Metrics[unit]
+			if !ok {
+				// Only throughput metrics gate; a renamed or dropped
+				// context metric is reported but does not fail the build.
+				if throughputMetric(unit) {
+					regressions = append(regressions, fmt.Sprintf("%s: throughput metric %s missing from candidate", old.Name, unit))
+				} else {
+					fmt.Printf("  %-28s %-28s %12.4f -> %12s (not gated, missing)\n", old.Name, unit, ov, "-")
+				}
+				continue
+			}
+			if !throughputMetric(unit) {
+				fmt.Printf("  %-28s %-28s %12.4f -> %12.4f (not gated)\n", old.Name, unit, ov, nv)
+				continue
+			}
+			delta := 0.0
+			if ov != 0 {
+				delta = (nv - ov) / ov
+			}
+			mark := "ok"
+			if ov > 0 && nv < ov*(1-threshold) {
+				mark = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4f -> %.4f (%.1f%%, limit -%.0f%%)", old.Name, unit, ov, nv, 100*delta, 100*threshold))
+			}
+			fmt.Printf("  %-28s %-28s %12.4f -> %12.4f (%+6.1f%%) %s\n", old.Name, unit, ov, nv, 100*delta, mark)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d throughput regression(s) vs %s:\n  %s",
+			len(regressions), basePath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s within %.0f%% of %s\n", candPath, 100*threshold, basePath)
+	return nil
 }
 
 func fatal(err error) {

@@ -17,11 +17,12 @@ import (
 	"strings"
 
 	"picmcio/internal/experiments"
+	"picmcio/internal/fault"
 	"picmcio/internal/units"
 )
 
 func main() {
-	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,figburst,figcontention,tab1,tab2,lst1,all")
+	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,figburst,figcontention,figfault,tab1,tab2,lst1,all")
 	nodes := flag.Int("nodes", 200, "node count for fixed-scale artifacts (fig5, fig6, fig8, fig9)")
 	nodeList := flag.String("node-list", "", "comma-separated node counts for scaling artifacts (default: paper set)")
 	ranksPerNode := flag.Int("ranks-per-node", 128, "MPI ranks per node")
@@ -29,6 +30,21 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	burstPolicy := flag.String("burst-policy", "", "figburst drain policy override: immediate, watermark, epoch-end")
 	flag.Parse()
+	if args := flag.Args(); len(args) > 0 {
+		// Positional form: `experiments figfault [figburst ...]`. Flags
+		// must come first (flag parsing stops at the first positional),
+		// and mixing the positional form with -run is ambiguous.
+		for _, a := range args {
+			if strings.HasPrefix(a, "-") {
+				fatal(fmt.Errorf("flag %q after artifact names: flags must precede positional artifacts", a))
+			}
+		}
+		if *runWhat != "all" {
+			fatal(fmt.Errorf("use either -run or positional artifact names, not both"))
+		}
+		joined := strings.Join(args, ",")
+		runWhat = &joined
+	}
 
 	o := experiments.Options{
 		Seed:         *seed,
@@ -49,7 +65,7 @@ func main() {
 
 	artifacts := strings.Split(*runWhat, ",")
 	if *runWhat == "all" {
-		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figburst", "figcontention", "tab1", "tab2", "lst1"}
+		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figburst", "figcontention", "figfault", "tab1", "tab2", "lst1"}
 	}
 	for _, a := range artifacts {
 		if err := runArtifact(strings.TrimSpace(a), o, *nodes); err != nil {
@@ -156,6 +172,34 @@ func runArtifact(name string, o experiments.Options, nodes int) error {
 			fmt.Printf("%-10s  max slowdown %.3fx  Jain %.4f\n", row.Policy, res.MaxSlowdown(), res.Jain)
 		}
 		fmt.Println()
+	case "figfault":
+		t, cells, err := o.FigFault()
+		if err != nil {
+			return err
+		}
+		m := experiments.FaultMachine()
+		fmt.Printf("# %s node MTBF %.0fk h: a 24 h full-machine run expects %.2f node failures\n",
+			m.Name, m.MTBFNodeHours/1e3, fault.ExpectedFailures(m.MTBFNodeHours, m.MaxNodes, 24*3600))
+		fmt.Println(t.Render())
+		// Sanity line the grid exists to show: deferring write-back
+		// raises what a node loss costs.
+		lost := map[string]int{}
+		for _, c := range cells {
+			if c.QoS == "qos-off" {
+				lost[c.Policy.String()] += c.Report.LostEpochsPFS
+			}
+		}
+		fmt.Printf("lost epochs on node loss (qos-off, summed over kill times): immediate %d < epoch-end %d <= watermark %d\n",
+			lost["immediate"], lost["epoch-end"], lost["watermark"])
+		sc, err := o.FigFaultSurvival()
+		if err != nil {
+			return err
+		}
+		nl, nk := sc.NodeLoss.Fault, sc.NVMeKeep.Fault
+		fmt.Printf("survivability (watermark drain, kill e%d+%.0f%%): node loss restarts from epoch %d (%s destroyed); "+
+			"NVMe-surviving state restarts from epoch %d (%s redrained)\n\n",
+			nl.Spec.KillEpoch, 100*nl.Spec.KillFrac, nl.RestartEpoch, units.Bytes(nl.LostBytes),
+			nk.RestartEpoch, units.Bytes(nk.RedrainBytes))
 	case "tab1":
 		fmt.Println(experiments.Tab1().Render())
 	case "tab2":

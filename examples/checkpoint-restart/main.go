@@ -9,6 +9,15 @@
 // scheduler writes back to Lustre in the background, and a second pass
 // with burst_durability = "pfs" shows what the same checkpoints cost when
 // every epoch close must wait for *PFS* durability.
+//
+// With -burst -kill the "crash" stops being rhetorical: the node dies
+// mid-epoch at step 250, between checkpoints, and the run reports what a
+// restart recovers at each durability level — both saves are buffered on
+// the node's NVMe, but write-back may not have caught up, so a node that
+// takes its NVMe with it rolls back further than one whose staged state
+// survives. The demo then takes the surviving-NVMe path: redrain the
+// staged bytes (the recovery cost internal/fault accounts) and restart
+// bit-identically from the last buffered checkpoint.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"log"
 
 	"picmcio/internal/burst"
+	"picmcio/internal/fault"
 	"picmcio/internal/lustre"
 	"picmcio/internal/mpisim"
 	"picmcio/internal/openpmd"
@@ -111,9 +121,81 @@ func checkpointRun(k *sim.Kernel, env *posix.Env, tier *burst.Tier, path, toml s
 	return
 }
 
+// ckptMark fingerprints one checkpoint: the step it covers and the state
+// a restart from it must reproduce.
+type ckptMark struct {
+	step    int
+	n       int
+	x0, vx0 float64
+}
+
+// killRun is the -kill flow: run the staged checkpoint loop but lose the
+// node at killStep, mid-epoch. It reports the recovery position at both
+// durability levels from the fault ledger, then takes the NVMe-surviving
+// path — redrain the staged bytes and leave a consistent last checkpoint
+// on Lustre for the restart.
+func killRun(k *sim.Kernel, env *posix.Env, tier *burst.Tier, path, toml string, killStep int) (marks []ckptMark, buffered, durable int, pendingAtKill int64, redrainSec float64) {
+	led := &fault.Ledger{}
+	w := mpisim.NewWorld(k, 1, nil)
+	w.Run(func(r *mpisim.Rank) {
+		host := openpmd.Host{Proc: r.Proc, Env: env, Comm: r.Comm}
+		series, err := openpmd.NewSeries(host, path, openpmd.AccessCreate, toml)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := newSim(42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for step := 1; step <= 300; step++ {
+			// Unlike the timing passes above, the kill flow charges a
+			// compute cost per step: the window in which the background
+			// drain races the next overwrite — and loses it partway, so
+			// the two durability levels genuinely diverge at the kill.
+			r.Proc.Sleep(40e-6)
+			if step == killStep {
+				// The node dies here. Assess the recovery position at the
+				// instant of death, before anything else moves.
+				now := r.Proc.Now()
+				buffered = led.BufferedEpochs(now)
+				durable = led.DurableEpochs(tier.NodeStats(0).DrainedBytes)
+				// Counterfactual node loss: what would die with the NVMe.
+				pendingAtKill = tier.Durability().PendingBytes
+				// Actual path: the staged state survives (SurviveNVMe) and
+				// is redrained — the recovery cost of buffered restarts.
+				tier.Crash(r.Proc, 0, true)
+				t0 := r.Proc.Now()
+				tier.WaitDrained(r.Proc)
+				redrainSec = float64(r.Proc.Now() - t0)
+				break
+			}
+			if err := s.Advance(); err != nil {
+				log.Fatal(err)
+			}
+			if step%100 == 0 {
+				if err := saveCheckpoint(series, s); err != nil {
+					log.Fatal(err)
+				}
+				e, _ := s.SpeciesByName("e")
+				marks = append(marks, ckptMark{step: step, n: e.N(), x0: e.X[0], vx0: e.VX[0]})
+				led.Mark(r.Proc.Now(), tier.Durability().BufferedBytes)
+			}
+		}
+		// The dead node wrote no more; closing the series stands in for
+		// the restart-time index recovery that makes the per-iteration
+		// BP4 metadata readable again.
+		series.Close()
+	})
+	return
+}
+
 func main() {
 	useBurst := flag.Bool("burst", false, "stage checkpoints through a node-local burst buffer")
+	kill := flag.Bool("kill", false, "lose the node at step 250, mid-epoch (requires -burst)")
 	flag.Parse()
+	if *kill && !*useBurst {
+		log.Fatal("-kill requires -burst: without staging every checkpoint is already PFS-durable")
+	}
 
 	k := sim.NewKernel()
 	fs := lustre.New(k, lustre.DefaultParams())
@@ -131,10 +213,56 @@ func main() {
 		}, fs)
 		env.Stage = tier.FS()
 		toml = "burst_buffer = true\n" + toml
-		fmt.Println("=== staged run (buffered-durable checkpoints) ===")
+		if !*kill {
+			fmt.Println("=== staged run (buffered-durable checkpoints) ===")
+		}
 	}
 
 	ckptPath := "/scratch/checkpoint.bp4"
+
+	if *kill {
+		const killStep = 250
+		fmt.Printf("=== staged run with node loss at step %d (-kill) ===\n", killStep)
+		marks, buffered, durable, pendingAtKill, redrainSec := killRun(k, env, tier, ckptPath, toml, killStep)
+		fmt.Printf("node died mid-epoch at step %d: %d checkpoint(s) buffered on NVMe, %d PFS-durable\n",
+			killStep, buffered, durable)
+		fmt.Printf("  restart from NVMe-surviving state: resume at step %d — %d step(s) of work lost\n",
+			100*buffered, killStep-100*buffered)
+		fmt.Printf("  restart after losing the NVMe:     resume at step %d — %d step(s) of work lost (%s staged-only state gone)\n",
+			100*durable, killStep-100*durable, units.Bytes(pendingAtKill))
+		fmt.Printf("surviving staged state: %s redrained to Lustre in %.1f µs before the restart could read it\n",
+			units.Bytes(pendingAtKill), 1e6*redrainSec)
+		fmt.Println("(in-place overwrite keeps only the last checkpoint on disk; per-epoch paths — as in")
+		fmt.Println(" internal/jobs — are what make every PFS-durable epoch independently restartable)")
+
+		// Take the surviving-NVMe path: the redrained last checkpoint is
+		// consistent on Lustre, restart from it and verify bit-identity.
+		want := marks[buffered-1]
+		w2 := mpisim.NewWorld(k, 1, nil)
+		w2.Run(func(r *mpisim.Rank) {
+			host := openpmd.Host{Proc: r.Proc, Env: env, Comm: r.Comm}
+			series, err := openpmd.NewSeries(host, ckptPath, openpmd.AccessReadOnly, toml)
+			if err != nil {
+				log.Fatal(err)
+			}
+			it, _ := series.ReadIteration(0)
+			x, _, err := it.Particles("e").Record("position").Component("x").Load()
+			if err != nil {
+				log.Fatal(err)
+			}
+			vx, _, err := it.Particles("e").Record("momentum").Component("x").Load()
+			if err != nil {
+				log.Fatal(err)
+			}
+			series.Close()
+			if len(x) != want.n || x[0] != want.x0 || vx[0] != want.vx0 {
+				log.Fatalf("restart mismatch: n=%d want %d, x0=%v want %v", len(x), want.n, x[0], want.x0)
+			}
+			fmt.Printf("restarted from the step-%d checkpoint: %d electrons restored bit-identically ✔\n", want.step, len(x))
+		})
+		return
+	}
+
 	bufferedSave, drainSec, wantN, wantX0, wantVX0 := checkpointRun(k, env, tier, ckptPath, toml)
 	if tier != nil {
 		st := tier.Stats()

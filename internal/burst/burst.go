@@ -175,6 +175,8 @@ type Stats struct {
 	AbsorbedBytes   int64    // written buffered-durable at local speed
 	FallbackBytes   int64    // overflowed to direct PFS writes (buffer full)
 	DrainedBytes    int64    // written back, now PFS-durable
+	LostBytes       int64    // buffered-only bytes destroyed by node crashes
+	CancelledBytes  int64    // staged bytes discarded by truncate/unlink before draining
 	DrainOps        int64    // backing write-back operations issued
 	DrainBusySec    float64  // cumulative drain-worker busy time
 	FirstDrainStart sim.Time // when the first segment started draining
@@ -226,6 +228,8 @@ type nodeState struct {
 	drainDev *sim.Server // drain-side cap; nil when uncapped
 	client   *pfs.Client // client the drain worker issues backing I/O through
 	used     int64
+	drained  int64 // cumulative bytes this node wrote back
+	lost     int64 // cumulative bytes Crash discarded from this node
 	queues   [NumClasses][]*segment
 	draining bool
 	force    bool // drain past the low watermark (flush requested)
@@ -234,7 +238,9 @@ type nodeState struct {
 	limitRate  float64
 	deadlineAt sim.Time // drain-by-deadline target for the current batch
 
-	inFlight bool // worker is mid-segment; segStart is its begin time
+	worker   *sim.Proc // the node's drain worker while one is running
+	cur      *segment  // segment the worker is mid-transfer on
+	inFlight bool      // worker is mid-segment; segStart is its begin time
 	segStart sim.Time
 }
 
@@ -341,6 +347,136 @@ func (t *Tier) Stats() Stats {
 	return s
 }
 
+// Durability is a point-in-time snapshot of the tier's two durability
+// levels. The invariant BufferedBytes = DurableBytes + PendingBytes +
+// LostBytes + CancelledBytes holds at every instant: every byte a client
+// write returned for is either written back, still staged, destroyed by
+// a crash, or deliberately discarded because its file was truncated or
+// unlinked before the drain reached it (overwrite-in-place checkpoints
+// cancel their predecessor's backlog this way).
+type Durability struct {
+	BufferedBytes  int64 // every byte whose client write returned (buffered-durable or better)
+	DurableBytes   int64 // PFS-durable: drained write-back plus direct fallback writes
+	PendingBytes   int64 // staged on node-local NVMe only
+	LostBytes      int64 // staged-only bytes destroyed by node crashes
+	CancelledBytes int64 // staged bytes discarded by truncate/unlink before draining
+}
+
+// Durability reports the tier's current durability snapshot. The fault
+// layer samples it at epoch boundaries and at kill time to compute what a
+// restart loses at each durability level.
+func (t *Tier) Durability() Durability {
+	return Durability{
+		BufferedBytes:  t.stats.AbsorbedBytes + t.stats.FallbackBytes,
+		DurableBytes:   t.stats.DrainedBytes + t.stats.FallbackBytes,
+		PendingBytes:   t.pending.Value(),
+		LostBytes:      t.stats.LostBytes,
+		CancelledBytes: t.stats.CancelledBytes,
+	}
+}
+
+// NodeStats is one node's staging accounting.
+type NodeStats struct {
+	PendingBytes int64 // buffer occupancy: absorbed, not yet drained or lost
+	DrainedBytes int64 // written back through this node, PFS-durable
+	LostBytes    int64 // discarded by Crash
+}
+
+// NodeStats reports the accounting of one node's buffer (zero value for a
+// node the tier has never seen).
+func (t *Tier) NodeStats(node int) NodeStats {
+	ns, ok := t.nodes[node]
+	if !ok {
+		return NodeStats{}
+	}
+	return NodeStats{PendingBytes: ns.used, DrainedBytes: ns.drained, LostBytes: ns.lost}
+}
+
+// CrashReport accounts what one node's crash did to staged state.
+type CrashReport struct {
+	Node           int
+	LostBytes      int64 // buffered-only bytes destroyed with the node's NVMe
+	SurvivingBytes int64 // staged bytes preserved on NVMe, still owed to the PFS
+	LostByClass    [NumClasses]int64
+}
+
+// Crash models losing node id mid-run, per the NVMe-survivability model:
+// with survive=true the staged state outlives the node (fabric-attached
+// enclosure, or a reboot that keeps the drive) — queued segments stay and
+// must still be written back, which is the redrain cost a restart pays;
+// with survive=false the node takes its NVMe with it — every queued
+// segment on the node is discarded, those bytes were buffered-durable
+// only and are now lost, and affected files' logical sizes revert to what
+// the backing store actually holds.
+//
+// A transfer in flight on the node's drain worker dies with the node in
+// both cases: the worker process is killed mid-segment (device time
+// already spent streams nowhere). Under survival the aborted segment's
+// data is still on the NVMe, so it is requeued at the head of its lane
+// for retransmission; under node loss it is accounted lost with the
+// rest. Durability waiters of a file whose last pending bytes were lost
+// are released: there is nothing left to wait for.
+func (t *Tier) Crash(p *sim.Proc, node int, survive bool) CrashReport {
+	rep := CrashReport{Node: node}
+	ns, ok := t.nodes[node]
+	if !ok {
+		return rep
+	}
+	if ns.inFlight && ns.cur != nil {
+		// Abort the in-flight transfer: the worker dies at its next
+		// scheduling point without running its completion accounting.
+		// Requeue the segment at the head of its lane — under survival
+		// it awaits retransmission; under node loss the discard sweep
+		// below takes it with the rest.
+		t.k.Kill(ns.worker)
+		seg := ns.cur
+		ns.cur, ns.inFlight = nil, false
+		ns.draining, ns.worker = false, nil
+		lane := &ns.queues[seg.st.class]
+		*lane = append([]*segment{seg}, *lane...)
+	} else if ns.draining {
+		// Worker exists but is between segments (never observable with
+		// the serialized kernel; defensive): let it die with the node.
+		t.k.Kill(ns.worker)
+		ns.draining, ns.worker = false, nil
+	}
+	if survive {
+		for cl := range ns.queues {
+			for _, seg := range ns.queues[cl] {
+				rep.SurvivingBytes += seg.n
+			}
+		}
+		return rep
+	}
+	var touched []*fileState
+	seen := map[*fileState]bool{}
+	for cl := range ns.queues {
+		for _, seg := range ns.queues[cl] {
+			rep.LostBytes += seg.n
+			rep.LostByClass[seg.st.class] += seg.n
+			ns.used -= seg.n
+			ns.lost += seg.n
+			seg.st.pending -= seg.n
+			t.pending.Add(-seg.n)
+			t.stats.LostBytes += seg.n
+			if !seen[seg.st] {
+				seen[seg.st] = true
+				touched = append(touched, seg.st)
+			}
+		}
+		ns.queues[cl] = nil
+	}
+	for _, st := range touched {
+		if st.backing != nil {
+			if sz := st.backing.Size(); sz < st.size {
+				st.size = sz
+			}
+		}
+		t.settle(p, ns.client, st)
+	}
+	return rep
+}
+
 // node returns (creating on first use) the buffer state of the client's
 // node. The first client seen for a node supplies the NIC drain traffic
 // shares with foreground I/O.
@@ -403,6 +539,7 @@ func (t *Tier) cancel(p *sim.Proc, c *pfs.Client, st *fileState) {
 				ns.used -= seg.n
 				st.pending -= seg.n
 				t.pending.Add(-seg.n)
+				t.stats.CancelledBytes += seg.n
 			}
 			ns.queues[cl] = kept
 		}
@@ -477,7 +614,7 @@ func (t *Tier) ensureDrainer(ns *nodeState) {
 		return
 	}
 	ns.draining = true
-	t.k.Spawn(fmt.Sprintf("burst.drain.%d", ns.id), func(p *sim.Proc) { t.drain(p, ns) })
+	ns.worker = t.k.Spawn(fmt.Sprintf("burst.drain.%d", ns.id), func(p *sim.Proc) { t.drain(p, ns) })
 }
 
 // drain is the worker body: pop segments (FIFO, or priority-lane order
@@ -492,7 +629,7 @@ func (t *Tier) drain(p *sim.Proc, ns *nodeState) {
 		}
 		seg := ns.pop(t.qos.PriorityLanes)
 		t0 := p.Now()
-		ns.inFlight, ns.segStart = true, t0
+		ns.cur, ns.inFlight, ns.segStart = seg, true, t0
 		var devEnd sim.Time
 		if ns.drainDev != nil {
 			devEnd = ns.drainDev.Reserve(seg.n)
@@ -532,8 +669,9 @@ func (t *Tier) drain(p *sim.Proc, ns *nodeState) {
 		if devEnd > p.Now() {
 			p.SleepUntil(devEnd)
 		}
-		ns.inFlight = false
+		ns.cur, ns.inFlight = nil, false
 		ns.used -= seg.n
+		ns.drained += seg.n
 		seg.st.pending -= seg.n
 		t.stats.DrainedBytes += seg.n
 		t.stats.DrainOps++
@@ -548,6 +686,7 @@ func (t *Tier) drain(p *sim.Proc, ns *nodeState) {
 		ns.force = false
 	}
 	ns.draining = false
+	ns.worker = nil
 }
 
 // FS is the staging tier's pfs.FileSystem face.

@@ -15,6 +15,7 @@ import (
 
 	"picmcio/internal/burst"
 	"picmcio/internal/cephfs"
+	"picmcio/internal/fault"
 	"picmcio/internal/lustre"
 	"picmcio/internal/nfs"
 	"picmcio/internal/pfs"
@@ -69,6 +70,32 @@ type Machine struct {
 	// has no staging tier; workloads opt in per engine (burst_buffer
 	// TOML option), so presets carrying a spec change nothing by default.
 	Burst burst.Spec
+
+	// Availability knobs for the fault-injection subsystem
+	// (internal/fault). MTBFNodeHours is the per-node mean time between
+	// failures — fault.ExpectedFailures turns it into the failure count a
+	// run of a given scale should plan for. NVMeSurvival says whether the
+	// machine's staged burst-buffer state outlives a node failure
+	// (on-board drives die with the node; fabric-attached enclosures do
+	// not). NodeRestartSec is the reboot/reschedule delay before a victim
+	// node resumes. Like the burst spec, these change nothing by default:
+	// only a jobs.Spec carrying a fault.Spec exercises them.
+	MTBFNodeHours  float64
+	NVMeSurvival   fault.Survivability
+	NodeRestartSec float64
+}
+
+// FaultSpec builds a single-node failure spec from the machine's
+// availability knobs: the victim dies during epoch killEpoch's compute
+// phase, killFrac of the way through.
+func (m Machine) FaultSpec(killEpoch int, killFrac float64, node int) *fault.Spec {
+	return &fault.Spec{
+		KillEpoch:    killEpoch,
+		KillFrac:     killFrac,
+		Node:         node,
+		Survival:     m.NVMeSurvival,
+		RestartDelay: sim.Duration(m.NodeRestartSec),
+	}
 }
 
 // Discoverer is the petascale EuroHPC system: 1128 nodes, 2×64-core EPYC,
@@ -96,6 +123,11 @@ func Discoverer() Machine {
 		NetBeta:            1.0 / 25e9,
 		Storage:            StorageLustre,
 		Lustre:             lp,
+		// Availability: an older EuroHPC fleet without node-local staging —
+		// a failure rolls back to whatever the PFS holds.
+		MTBFNodeHours:  300e3,
+		NVMeSurvival:   fault.SurviveNone,
+		NodeRestartSec: 300,
 	}
 }
 
@@ -134,6 +166,12 @@ func Dardel() Machine {
 			DrainRate:     3e9,
 			Policy:        burst.PolicyImmediate,
 		},
+		// Availability: on-board node NVMe dies with its node, so a node
+		// loss destroys staged-only checkpoints; warm spares keep the
+		// reschedule delay short.
+		MTBFNodeHours:  500e3,
+		NVMeSurvival:   fault.SurviveNone,
+		NodeRestartSec: 120,
 	}
 }
 
@@ -176,6 +214,12 @@ func Vega() Machine {
 			HighWater:     0.6,
 			LowWater:      0.2,
 		},
+		// Availability: Vega's staging sits in fabric-attached enclosures
+		// that outlive individual nodes, so restarts resume from buffered
+		// state at the price of redraining it.
+		MTBFNodeHours:  400e3,
+		NVMeSurvival:   fault.SurviveNVMe,
+		NodeRestartSec: 180,
 	}
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"picmcio/internal/fault"
 	"picmcio/internal/sim"
 )
 
@@ -149,5 +150,30 @@ func TestAllocateSlicesNodes(t *testing.T) {
 	}
 	if _, err := sys.Allocate(0); err == nil {
 		t.Fatal("zero-node allocation must fail")
+	}
+}
+
+func TestAvailabilityKnobs(t *testing.T) {
+	for _, m := range Machines() {
+		if m.MTBFNodeHours <= 0 || m.NodeRestartSec <= 0 {
+			t.Errorf("%s: availability knobs unset: MTBF=%v restart=%v", m.Name, m.MTBFNodeHours, m.NodeRestartSec)
+		}
+		f := m.FaultSpec(3, 0.5, 1)
+		if f.KillEpoch != 3 || f.KillFrac != 0.5 || f.Node != 1 {
+			t.Errorf("%s: FaultSpec mangled the kill point: %+v", m.Name, f)
+		}
+		if f.Survival != m.NVMeSurvival || float64(f.RestartDelay) != m.NodeRestartSec {
+			t.Errorf("%s: FaultSpec dropped the machine knobs: %+v", m.Name, f)
+		}
+		if err := f.Validate(4, 5); err != nil {
+			t.Errorf("%s: preset fault spec invalid: %v", m.Name, err)
+		}
+	}
+	// Dardel's on-board NVMe dies with the node; Vega's enclosures do not.
+	if Dardel().NVMeSurvival != fault.SurviveNone {
+		t.Error("Dardel must model node-loss NVMe")
+	}
+	if Vega().NVMeSurvival != fault.SurviveNVMe {
+		t.Error("Vega must model NVMe-surviving staging")
 	}
 }

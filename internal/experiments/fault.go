@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/fault"
+	"picmcio/internal/jobs"
+	"picmcio/internal/units"
+)
+
+// FaultDrainPolicies is the drain-policy axis of FigFault, in table order.
+var FaultDrainPolicies = []burst.Policy{burst.PolicyImmediate, burst.PolicyEpochEnd, burst.PolicyWatermark}
+
+// FaultQoSPolicies is the drain-QoS axis: the plain scheduler and the
+// good-neighbour write-back cap (which slows the march to PFS durability
+// and so raises what a node loss costs).
+var FaultQoSPolicies = []string{"qos-off", "rate-limit"}
+
+// FaultKillFracs is the kill-time axis: fractions through the kill
+// epoch's compute phase. Both points sit after the immediate drain's
+// write-back completes (~40% in) and before the epoch-end drain's does
+// (~85% in), so the policy separation holds at every kill time.
+var FaultKillFracs = []float64{0.45, 0.75}
+
+// faultKillEpoch is the epoch (0-based, of faultEpochs) mid-whose compute
+// phase the victim node dies.
+const (
+	faultEpochs    = 6
+	faultKillEpoch = 3
+)
+
+// FaultMachine is the machine the fault grid runs on — the single source
+// both FigFault and the cmd/experiments header derive it from.
+func FaultMachine() cluster.Machine { return cluster.Dardel() }
+
+// FaultCell is one grid cell of the fault-injection figure.
+type FaultCell struct {
+	Policy   burst.Policy
+	QoS      string
+	KillFrac float64
+
+	Report        *fault.Report
+	VictimDurable float64 // faulted run: victim durable-completion sec
+	CleanDurable  float64 // same scenario, no fault
+	NeighbourEnd  float64 // neighbour durable-completion sec in the faulted run
+}
+
+// faultQoS maps a QoS axis name to the staged job's drain QoS.
+func faultQoS(name string) (burst.QoS, error) {
+	switch name {
+	case "qos-off":
+		return burst.QoS{}, nil
+	case "rate-limit":
+		// Well under the production rate: a write-back backlog spans
+		// epochs, so the durable position trails the buffered one by more.
+		return burst.QoS{DrainLimit: 1.5e9}, nil
+	}
+	return burst.QoS{}, fmt.Errorf("figfault: unknown QoS policy %q", name)
+}
+
+// faultScenario builds the victim/neighbour co-schedule on Dardel: a
+// staged checkpoint-only job (2 nodes, 128 MiB per node per epoch in
+// 16 MiB chunks, 30 ms compute) whose node 0 carries the fault, next to
+// a small direct writer that keeps running through the failure. The
+// drain rate is sized so one epoch's write-back takes ~24 ms: an
+// immediate drain starts with the first chunk and finishes inside the
+// kill epoch's compute phase at every kill point, while an epoch-end
+// drain starts ~22 ms later at the nudge and never finishes by the kill
+// — the grid's headline separation between the policies' durability
+// positions.
+func faultScenario(pol burst.Policy, qos burst.QoS, f *fault.Spec) []jobs.Spec {
+	wl := jobs.Workload{
+		Epochs:          faultEpochs,
+		CheckpointBytes: 128 * units.MiB,
+		ComputeSec:      0.03,
+		WriteChunkBytes: 16 * units.MiB,
+	}
+	return []jobs.Spec{
+		{
+			Name:  "victim",
+			Nodes: 2,
+			Burst: burst.Spec{
+				CapacityBytes: 2 << 30,
+				Rate:          6e9,
+				PerOp:         25e-6,
+				DrainRate:     5.5e9,
+				Policy:        pol,
+				QoS:           qos,
+			},
+			Workload:    wl,
+			StripeCount: -1,
+			Fault:       f,
+		},
+		{
+			Name:  "neighbour",
+			Nodes: 2,
+			Workload: jobs.Workload{
+				Epochs:     faultEpochs,
+				DiagBytes:  16 * units.MiB,
+				ComputeSec: 0.03,
+			},
+			StripeCount: -1,
+		},
+	}
+}
+
+// figFaultSpec is the injected failure: node 0 of the victim job dies
+// during epoch 3's compute phase and its NVMe dies with it (node loss).
+func figFaultSpec(frac float64) *fault.Spec {
+	return &fault.Spec{
+		KillEpoch: faultKillEpoch,
+		KillFrac:  frac,
+		Node:      0,
+		Survival:  fault.SurviveNone,
+		// A scaled-down reschedule delay: real warm-spare restarts take
+		// minutes (cluster.Machine.NodeRestartSec); the grid uses 50 ms so
+		// the redrain/rewrite dynamics stay visible at simulation scale.
+		RestartDelay: 0.05,
+	}
+}
+
+// FigFault is the fault-injection artifact: a kill-time × drain-policy ×
+// drain-QoS grid on Dardel where a victim node dies mid-epoch and loses
+// its NVMe. Per cell it reports the recovery position at both durability
+// levels, the staged bytes destroyed, and what the failure cost in
+// durable-completion time against an identical clean run. Lost work on
+// node loss orders immediate < epoch-end < watermark: the longer
+// write-back is deferred, the more epochs exist only on the NVMe that
+// just died.
+func (o Options) FigFault() (Table, []FaultCell, error) {
+	o = o.WithDefaults()
+	m := FaultMachine()
+	t := Table{
+		Title: "Fig F: node-loss fault injection on Dardel (staged victim + direct neighbour, kill in epoch 3/6)",
+		Header: []string{"policy", "qos", "kill@", "buffered", "durable",
+			"lost(nvme)", "lost(node)", "lost bytes", "durable s", "fault cost"},
+	}
+	var cells []FaultCell
+	for _, pol := range FaultDrainPolicies {
+		for _, qosName := range FaultQoSPolicies {
+			qos, err := faultQoS(qosName)
+			if err != nil {
+				return t, nil, err
+			}
+			clean, err := jobs.Run(m, faultScenario(pol, qos, nil), o.Seed)
+			if err != nil {
+				return t, nil, fmt.Errorf("figfault clean %s/%s: %w", pol, qosName, err)
+			}
+			for _, frac := range FaultKillFracs {
+				res, err := jobs.Run(m, faultScenario(pol, qos, figFaultSpec(frac)), o.Seed)
+				if err != nil {
+					return t, nil, fmt.Errorf("figfault %s/%s@%.2f: %w", pol, qosName, frac, err)
+				}
+				rep := res[0].Fault
+				if rep == nil {
+					return t, nil, fmt.Errorf("figfault %s/%s@%.2f: injection never fired", pol, qosName, frac)
+				}
+				cell := FaultCell{
+					Policy: pol, QoS: qosName, KillFrac: frac,
+					Report:        rep,
+					VictimDurable: res[0].DurableSec,
+					CleanDurable:  clean[0].DurableSec,
+					NeighbourEnd:  res[1].DurableSec,
+				}
+				cells = append(cells, cell)
+				t.Rows = append(t.Rows, []string{
+					pol.String(), qosName, fmt.Sprintf("e%d+%.0f%%", rep.Spec.KillEpoch, 100*frac),
+					fmt.Sprintf("%d ep", rep.BufferedEpochs),
+					fmt.Sprintf("%d ep", rep.DurableEpochs),
+					fmt.Sprintf("%d ep", rep.LostEpochsBuffered),
+					fmt.Sprintf("%d ep", rep.LostEpochsPFS),
+					units.Bytes(rep.LostBytes),
+					units.Seconds(cell.VictimDurable),
+					units.Seconds(cell.VictimDurable - cell.CleanDurable),
+				})
+			}
+		}
+	}
+	return t, cells, nil
+}
+
+// FaultSurvivalComparison reruns one representative cell (watermark
+// drain — the policy with the deepest staged backlog — QoS off, late
+// kill) under both survivability models, for the buffered- vs
+// PFS-restart contrast the staging tier exists to expose: the same
+// staged bytes are either destroyed with the node or redrained.
+type FaultSurvivalComparison struct {
+	NodeLoss *jobs.Result // NVMe dies with the node
+	NVMeKeep *jobs.Result // staged state survives and redrains
+}
+
+// FigFaultSurvival runs the survivability comparison.
+func (o Options) FigFaultSurvival() (*FaultSurvivalComparison, error) {
+	o = o.WithDefaults()
+	m := FaultMachine()
+	qos, _ := faultQoS("qos-off")
+	frac := FaultKillFracs[len(FaultKillFracs)-1]
+	var out FaultSurvivalComparison
+	for _, surv := range []fault.Survivability{fault.SurviveNone, fault.SurviveNVMe} {
+		fs := figFaultSpec(frac)
+		fs.Survival = surv
+		res, err := jobs.Run(m, faultScenario(burst.PolicyWatermark, qos, fs), o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("figfault survival %v: %w", surv, err)
+		}
+		r := res[0]
+		if surv == fault.SurviveNone {
+			out.NodeLoss = &r
+		} else {
+			out.NVMeKeep = &r
+		}
+	}
+	return &out, nil
+}

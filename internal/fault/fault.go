@@ -1,0 +1,289 @@
+// Package fault injects node failures into simulated runs and computes
+// what a restart loses at each durability level of the burst-buffer
+// staging tier.
+//
+// Checkpointing only matters under failure: the staging tier (see
+// internal/burst) makes checkpoints cheap by returning at *buffered*
+// durability — data on node-local NVMe — while write-back to the parallel
+// file system proceeds in the background. A node failure is exactly the
+// event that separates the two levels. What a restart can recover from
+// depends on the NVMe-survivability model:
+//
+//   - SurviveNone: the node takes its NVMe with it (on-board drive, node
+//     replaced). Staged-only bytes are destroyed; the job restarts from
+//     the last checkpoint that is fully PFS-durable.
+//   - SurviveNVMe: the staged state outlives the node (fabric-attached
+//     enclosure, or a reboot that keeps the drive). The job restarts from
+//     the last *buffered* checkpoint, but the surviving staged bytes must
+//     still be written back — the redrain cost — re-contending drain
+//     bandwidth with every co-scheduled neighbour.
+//
+// The package provides the ledger that maps a kill time onto "last
+// restartable epoch" at each level (Ledger, Assess), and the injector
+// that orchestrates a kill inside a running simulation (Arm): kill the
+// victim processes via the kernel's abort primitive, crash their nodes'
+// buffers per the survivability model, wait out the restart delay, and
+// hand control back to the caller's restart path. internal/jobs threads
+// Spec through co-schedules so a victim job restarts while its neighbours
+// keep running.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/sim"
+)
+
+// Survivability models what happens to a node's staged NVMe state when
+// the node fails.
+type Survivability int
+
+const (
+	// SurviveNone: node loss destroys the node-local buffer; staged-only
+	// bytes are gone and restart falls back to PFS-durable state.
+	SurviveNone Survivability = iota
+	// SurviveNVMe: the staged state outlives the node and is written back
+	// (redrained) during recovery; restart resumes from buffered state.
+	SurviveNVMe
+)
+
+// String implements fmt.Stringer.
+func (s Survivability) String() string {
+	switch s {
+	case SurviveNone:
+		return "none"
+	case SurviveNVMe:
+		return "nvme"
+	}
+	return fmt.Sprintf("Survivability(%d)", int(s))
+}
+
+// ParseSurvivability maps a configuration string to a Survivability.
+func ParseSurvivability(s string) (Survivability, error) {
+	switch s {
+	case "none", "node-loss":
+		return SurviveNone, nil
+	case "nvme", "nvme-survives":
+		return SurviveNVMe, nil
+	}
+	return 0, fmt.Errorf("fault: unknown survivability model %q", s)
+}
+
+// Spec configures one injected failure inside a job's epoch schedule.
+type Spec struct {
+	// KillEpoch is the epoch (0-based) during whose compute phase the
+	// victim dies: its writes for that epoch have returned at buffered
+	// durability, write-back may or may not have caught up — the window
+	// where the two durability levels diverge.
+	KillEpoch int
+	// KillFrac places the kill within the epoch's compute phase, as a
+	// fraction in [0, 1).
+	KillFrac float64
+	// Node is the victim node (job-relative). Ignored when WholeJob.
+	Node int
+	// WholeJob kills every node of the job at once — the co-schedule-wide
+	// failure where the whole allocation restarts together.
+	WholeJob bool
+	// Survival selects the NVMe-survivability model.
+	Survival Survivability
+	// RestartDelay is the reboot/reschedule time before recovery begins.
+	RestartDelay sim.Duration
+}
+
+// Validate checks the spec against a job's shape.
+func (s Spec) Validate(nodes, epochs int) error {
+	if s.KillEpoch < 0 || s.KillEpoch >= epochs {
+		return fmt.Errorf("fault: kill epoch %d outside schedule of %d epoch(s)", s.KillEpoch, epochs)
+	}
+	if s.KillFrac < 0 || s.KillFrac >= 1 {
+		return fmt.Errorf("fault: kill fraction %v outside [0, 1)", s.KillFrac)
+	}
+	if !s.WholeJob && (s.Node < 0 || s.Node >= nodes) {
+		return fmt.Errorf("fault: victim node %d outside job of %d node(s)", s.Node, nodes)
+	}
+	if s.RestartDelay < 0 {
+		return fmt.Errorf("fault: negative restart delay %v", s.RestartDelay)
+	}
+	return nil
+}
+
+// Ledger records, per epoch, when the epoch's output became fully
+// buffered-durable and the cumulative staged bytes per node it ends at —
+// for a uniform per-node output pattern, the two numbers that map a kill
+// time plus a node's drained-byte counter back onto "last restartable
+// epoch" at each durability level.
+type Ledger struct {
+	bufferedAt []sim.Time // epoch i: every node's writes returned
+	cumPerNode []int64    // epoch i: cumulative staged bytes per node
+}
+
+// Mark records the completion of the next epoch: at time now, every node
+// has buffered its writes, ending at cum cumulative staged bytes per node.
+func (l *Ledger) Mark(now sim.Time, cum int64) {
+	l.bufferedAt = append(l.bufferedAt, now)
+	l.cumPerNode = append(l.cumPerNode, cum)
+}
+
+// Epochs reports how many epochs have been marked.
+func (l *Ledger) Epochs() int { return len(l.bufferedAt) }
+
+// BufferedEpochs reports how many epochs were fully buffered-durable by
+// time t — the restart position when staged state survives the failure.
+func (l *Ledger) BufferedEpochs(t sim.Time) int {
+	n := 0
+	for _, at := range l.bufferedAt {
+		if at <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// DurableEpochs reports how many epochs are fully PFS-durable given the
+// minimum per-node drained-byte counter across the restarting nodes — the
+// restart position when the failure destroys staged state. A drained
+// value of -1 means "everything staged has been written back" (a job with
+// no staging tier is always fully durable).
+func (l *Ledger) DurableEpochs(drained int64) int {
+	if drained < 0 {
+		return len(l.cumPerNode)
+	}
+	n := 0
+	for _, cum := range l.cumPerNode {
+		if cum <= drained {
+			n++
+		}
+	}
+	return n
+}
+
+// Report is what one injected failure cost.
+type Report struct {
+	Spec     Spec
+	KillTime sim.Time
+
+	// Recovery positions at the two durability levels, in epochs: how far
+	// back a restart reaches with NVMe-surviving staged state vs from the
+	// parallel file system alone.
+	BufferedEpochs int
+	DurableEpochs  int
+	// RestartEpoch is where the victim actually resumed: BufferedEpochs
+	// under SurviveNVMe, DurableEpochs under SurviveNone.
+	RestartEpoch int
+
+	// Lost work in whole epochs at each level. The kill epoch's partially
+	// computed phase is lost at every level and not counted here — the
+	// restart re-executes it before writing its first checkpoint.
+	LostEpochsBuffered int // epochs to redo restarting from buffered state
+	LostEpochsPFS      int // epochs to redo restarting from PFS-durable state
+
+	LostBytes    int64 // staged-only bytes destroyed with the node(s)
+	RedrainBytes int64 // surviving staged bytes still owed to the PFS
+	// ReplayedBytes is the rewrite traffic recovery re-issues: the bytes
+	// of already-checkpointed epochs (RestartEpoch through the kill
+	// epoch) the restarting nodes write again. The caller that knows the
+	// workload's byte layout fills it in; jobs.Result.BytesWritten
+	// deliberately excludes it so faulted and clean runs report the same
+	// logical output.
+	ReplayedBytes int64
+}
+
+// Assess computes the recovery position for a failure at time t during
+// epoch killEpoch, given the run's ledger and the minimum drained-byte
+// counter across the restarting nodes (-1 for a job with no staging
+// tier). It fills every Report field the crash itself does not determine.
+func Assess(spec Spec, l *Ledger, t sim.Time, drained int64) *Report {
+	attempted := spec.KillEpoch + 1 // epochs whose writes were issued by the kill
+	r := &Report{
+		Spec:           spec,
+		KillTime:       t,
+		BufferedEpochs: l.BufferedEpochs(t),
+		DurableEpochs:  l.DurableEpochs(drained),
+	}
+	if r.DurableEpochs > r.BufferedEpochs {
+		// Fallback writes can make bytes PFS-durable before the epoch's
+		// buffered mark lands; durability never exceeds what was written.
+		r.DurableEpochs = r.BufferedEpochs
+	}
+	r.LostEpochsBuffered = attempted - r.BufferedEpochs
+	r.LostEpochsPFS = attempted - r.DurableEpochs
+	r.RestartEpoch = r.DurableEpochs
+	if spec.Survival == SurviveNVMe {
+		r.RestartEpoch = r.BufferedEpochs
+	}
+	return r
+}
+
+// Victim is one process/node pair an injection kills.
+type Victim struct {
+	Proc *sim.Proc
+	Node int // tier-level node id (the pfs.Client node)
+}
+
+// Injector carries an armed injection's outcome.
+type Injector struct {
+	// Report is filled at kill time; nil until the injection fires.
+	Report *Report
+}
+
+// Arm schedules an injection on kernel k: at virtual time at, kill every
+// victim process, crash each victim node's buffer per the survivability
+// model (tier may be nil for a direct-to-PFS job), assess the recovery
+// position from the ledger, wait out the restart delay, and call restart
+// with the epoch the victims resume from. The victims are the restarting
+// set: the durable position is the minimum over their drained counters,
+// since the restart needs its checkpoint back on every restarting node
+// (surviving nodes keep their staged state and need no rollback). The
+// caller's restart func runs inside the injection process and typically
+// respawns the victims' writers. Killing a victim that already finished
+// is a no-op (sim.Kernel.Kill on a done process), so a restart callback
+// should respawn only processes whose Killed() reports true — a victim
+// that completed before the kill fired needs no recovery, and its node's
+// Crash finds nothing staged (a finished writer drained before exiting).
+func Arm(k *sim.Kernel, at sim.Time, spec Spec, victims []Victim, tier *burst.Tier,
+	led *Ledger, restart func(p *sim.Proc, fromEpoch int)) *Injector {
+	inj := &Injector{}
+	k.SpawnAt(at, "fault.inject", func(p *sim.Proc) {
+		drained := int64(-1)
+		if tier != nil {
+			drained = math.MaxInt64
+			for _, v := range victims {
+				if d := tier.NodeStats(v.Node).DrainedBytes; d < drained {
+					drained = d
+				}
+			}
+		}
+		rep := Assess(spec, led, p.Now(), drained)
+		for _, v := range victims {
+			k.Kill(v.Proc)
+		}
+		if tier != nil {
+			for _, v := range victims {
+				cr := tier.Crash(p, v.Node, spec.Survival == SurviveNVMe)
+				rep.LostBytes += cr.LostBytes
+				rep.RedrainBytes += cr.SurvivingBytes
+			}
+		}
+		inj.Report = rep
+		if spec.RestartDelay > 0 {
+			p.Sleep(spec.RestartDelay)
+		}
+		restart(p, rep.RestartEpoch)
+	})
+	return inj
+}
+
+// ExpectedFailures converts a per-node mean time between failures into
+// the expected number of node failures across a run: node-hours divided
+// by the MTBF (failures as independent exponentials). It contextualizes a
+// single-kill experiment against a machine's availability knobs — at a
+// 500k-hour node MTBF, a 24 h run on 1000 nodes expects ~0.05 failures;
+// a petascale campaign of such runs sees one every ~20 runs.
+func ExpectedFailures(mtbfHours float64, nodes int, span sim.Duration) float64 {
+	if mtbfHours <= 0 || nodes <= 0 || span <= 0 {
+		return 0
+	}
+	return float64(span) / 3600 * float64(nodes) / mtbfHours
+}

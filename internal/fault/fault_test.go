@@ -1,0 +1,211 @@
+package fault_test
+
+import (
+	"testing"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/fault"
+	"picmcio/internal/lustre"
+	"picmcio/internal/pfs"
+	"picmcio/internal/sim"
+)
+
+const dMB = 1_000_000
+
+func TestParseSurvivability(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want fault.Survivability
+	}{
+		{"none", fault.SurviveNone},
+		{"node-loss", fault.SurviveNone},
+		{"nvme", fault.SurviveNVMe},
+		{"nvme-survives", fault.SurviveNVMe},
+	} {
+		got, err := fault.ParseSurvivability(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSurvivability(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() == "" {
+			t.Errorf("empty String for %v", got)
+		}
+	}
+	if _, err := fault.ParseSurvivability("raid"); err == nil {
+		t.Error("unknown survivability must error")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	ok := fault.Spec{KillEpoch: 2, KillFrac: 0.5, Node: 1}
+	if err := ok.Validate(4, 5); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for name, s := range map[string]fault.Spec{
+		"epoch past end": {KillEpoch: 5},
+		"negative epoch": {KillEpoch: -1},
+		"frac at 1":      {KillFrac: 1},
+		"node past end":  {Node: 4},
+		"negative delay": {RestartDelay: -1},
+	} {
+		if err := s.Validate(4, 5); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+	// WholeJob ignores the victim node field.
+	whole := fault.Spec{WholeJob: true, Node: 99}
+	if err := whole.Validate(4, 5); err != nil {
+		t.Errorf("whole-job spec rejected: %v", err)
+	}
+}
+
+// TestLedgerQueries exercises the epoch ledger's buffered/durable math.
+func TestLedgerQueries(t *testing.T) {
+	l := &fault.Ledger{}
+	l.Mark(1.0, 10*dMB)
+	l.Mark(2.0, 20*dMB)
+	l.Mark(3.0, 30*dMB)
+	if l.Epochs() != 3 {
+		t.Fatalf("Epochs() = %d, want 3", l.Epochs())
+	}
+	for _, tc := range []struct {
+		t    sim.Time
+		want int
+	}{{0.5, 0}, {1.0, 1}, {2.5, 2}, {9, 3}} {
+		if got := l.BufferedEpochs(tc.t); got != tc.want {
+			t.Errorf("BufferedEpochs(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		drained int64
+		want    int
+	}{{0, 0}, {10*dMB - 1, 0}, {10 * dMB, 1}, {25 * dMB, 2}, {-1, 3}} {
+		if got := l.DurableEpochs(tc.drained); got != tc.want {
+			t.Errorf("DurableEpochs(%d) = %d, want %d", tc.drained, got, tc.want)
+		}
+	}
+}
+
+// TestAssess checks the lost-work math at both survivability levels.
+func TestAssess(t *testing.T) {
+	l := &fault.Ledger{}
+	l.Mark(1.0, 10*dMB)
+	l.Mark(2.0, 20*dMB)
+	l.Mark(3.0, 30*dMB)
+
+	// Killed during epoch 2's compute (3 epochs buffered), with only
+	// epoch 0 drained back: node loss rolls back two epochs, surviving
+	// NVMe loses none.
+	spec := fault.Spec{KillEpoch: 2, Survival: fault.SurviveNone}
+	r := fault.Assess(spec, l, 3.5, 10*dMB)
+	if r.BufferedEpochs != 3 || r.DurableEpochs != 1 {
+		t.Fatalf("positions %d/%d, want 3 buffered / 1 durable", r.BufferedEpochs, r.DurableEpochs)
+	}
+	if r.LostEpochsBuffered != 0 || r.LostEpochsPFS != 2 {
+		t.Fatalf("lost %d/%d, want 0 buffered / 2 PFS", r.LostEpochsBuffered, r.LostEpochsPFS)
+	}
+	if r.RestartEpoch != 1 {
+		t.Fatalf("restart epoch %d under SurviveNone, want 1", r.RestartEpoch)
+	}
+	spec.Survival = fault.SurviveNVMe
+	if r := fault.Assess(spec, l, 3.5, 10*dMB); r.RestartEpoch != 3 {
+		t.Fatalf("restart epoch %d under SurviveNVMe, want 3", r.RestartEpoch)
+	}
+
+	// A straggler kill mid-write: epoch 1's writes incomplete, so even
+	// buffered recovery loses an epoch.
+	spec = fault.Spec{KillEpoch: 1}
+	if r := fault.Assess(spec, l, 1.5, -1); r.LostEpochsBuffered != 1 || r.LostEpochsPFS != 1 {
+		t.Fatalf("straggler lost %d/%d, want 1/1 (durable clamped to buffered)", r.LostEpochsBuffered, r.LostEpochsPFS)
+	}
+}
+
+// TestArmEndToEnd injects a failure into a one-node staged writer: the
+// victim dies mid-sleep, its queued staged bytes are destroyed, and the
+// restart callback resumes from the PFS-durable epoch.
+func TestArmEndToEnd(t *testing.T) {
+	k := sim.NewKernel()
+	back := lustre.New(k, lustre.DefaultParams())
+	tier := burst.NewTier(k, burst.Spec{
+		CapacityBytes: 64 * dMB, Rate: 1e12, DrainRate: 1e6, Policy: burst.PolicyEpochEnd,
+	}, back)
+	c := &pfs.Client{Node: 0, NIC: sim.NewServer(k, 25e9, 0)}
+	led := &fault.Ledger{}
+
+	write := func(p *sim.Proc, path string, n int64) {
+		f, err := tier.FS().Create(p, c, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(p, c, 0, n, nil)
+		f.Close(p, c)
+	}
+
+	epochsRun := 0
+	victim := k.Spawn("writer", func(p *sim.Proc) {
+		for e := 0; e < 4; e++ {
+			write(p, pathOf(e), dMB)
+			led.Mark(p.Now(), int64(e+1)*dMB)
+			tier.DrainEpoch(p)
+			epochsRun++
+			p.Sleep(1.5) // drains one segment per 1.5 s window at 1e6 B/s
+		}
+	})
+
+	restartedFrom := -1
+	var resumed int
+	spec := fault.Spec{KillEpoch: 2, Survival: fault.SurviveNone, RestartDelay: 2.0}
+	// Kill inside epoch 2's compute window. Epoch boundaries land near
+	// t = 0, 1.5, 3.0 (writes and metadata cost only milliseconds), so
+	// t = 3.5 is mid-epoch-2 with epoch 0 drained and epoch 1 in flight.
+	inj := fault.Arm(k, 3.5, spec, []fault.Victim{{Proc: victim, Node: 0}}, tier, led,
+		func(p *sim.Proc, from int) {
+			restartedFrom = from
+			for e := from; e < 4; e++ {
+				write(p, pathOf(e), dMB)
+				resumed++
+			}
+			tier.WaitDrained(p)
+		})
+	k.Run()
+
+	if epochsRun != 3 {
+		t.Errorf("victim ran %d epochs before dying, want 3 (killed mid-epoch 2)", epochsRun)
+	}
+	rep := inj.Report
+	if rep == nil {
+		t.Fatal("injection never fired")
+	}
+	if rep.BufferedEpochs != 3 {
+		t.Errorf("buffered position %d, want 3", rep.BufferedEpochs)
+	}
+	// At t=3.5 the drain (started at the first nudge, one segment per
+	// second) has completed epoch 0's and epoch 1's segments and holds
+	// epoch 2's in flight or queued: durable position 2, one epoch lost.
+	if rep.DurableEpochs != 2 || rep.LostEpochsPFS != 1 {
+		t.Errorf("durable position %d lost %d, want 2 lost 1", rep.DurableEpochs, rep.LostEpochsPFS)
+	}
+	if restartedFrom != rep.DurableEpochs {
+		t.Errorf("restarted from %d, want durable position %d", restartedFrom, rep.DurableEpochs)
+	}
+	if resumed != 4-rep.DurableEpochs {
+		t.Errorf("restart re-ran %d epochs, want %d", resumed, 4-rep.DurableEpochs)
+	}
+	if got := tier.Durability(); got.PendingBytes != 0 {
+		t.Errorf("pending %d after restart drain, want 0", got.PendingBytes)
+	}
+}
+
+func pathOf(e int) string {
+	return "/scratch/ckpt_" + string(rune('0'+e)) + ".dmp"
+}
+
+func TestExpectedFailures(t *testing.T) {
+	// 1000 nodes for 24 h at a 480k-hour node MTBF: 24000/480000 = 0.05.
+	got := fault.ExpectedFailures(480_000, 1000, 24*3600)
+	if got < 0.0499 || got > 0.0501 {
+		t.Errorf("ExpectedFailures = %v, want 0.05", got)
+	}
+	if fault.ExpectedFailures(0, 10, 100) != 0 || fault.ExpectedFailures(100, 0, 100) != 0 {
+		t.Error("degenerate inputs must report 0")
+	}
+}

@@ -1,0 +1,197 @@
+package jobs_test
+
+import (
+	"testing"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/fault"
+	"picmcio/internal/jobs"
+	"picmcio/internal/units"
+)
+
+// faultSpecs is the victim/neighbour pair: a staged checkpoint-only job
+// whose node 0 dies during epoch 2's compute phase, next to a direct
+// writer that keeps running. The victim's drain is capped well below its
+// production rate so a write-back backlog exists at the kill — the window
+// where the two durability levels diverge.
+func faultSpecs(f *fault.Spec) []jobs.Spec {
+	wl := jobs.Workload{
+		Epochs:          5,
+		CheckpointBytes: 96 * units.MiB,
+		ComputeSec:      0.03,
+	}
+	return []jobs.Spec{
+		{
+			Name:  "victim",
+			Nodes: 2,
+			Burst: burst.Spec{
+				CapacityBytes: 2 << 30,
+				Rate:          6e9,
+				PerOp:         25e-6,
+				DrainRate:     1.5e9,
+				Policy:        burst.PolicyEpochEnd,
+			},
+			Workload:    wl,
+			StripeCount: -1,
+			Fault:       f,
+		},
+		{Name: "neighbour", Nodes: 2, Workload: wl, StripeCount: -1},
+	}
+}
+
+func runFault(t *testing.T, f *fault.Spec) []jobs.Result {
+	t.Helper()
+	res, err := jobs.Run(cluster.Dardel(), faultSpecs(f), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFaultNodeLossRollsBackToDurable kills a node whose NVMe dies with
+// it: staged-only bytes must be destroyed and the restart must reach
+// further back than the buffered position.
+func TestFaultNodeLossRollsBackToDurable(t *testing.T) {
+	f := &fault.Spec{KillEpoch: 2, KillFrac: 0.5, Node: 0, Survival: fault.SurviveNone, RestartDelay: 0.05}
+	res := runFault(t, f)
+	rep := res[0].Fault
+	if rep == nil {
+		t.Fatal("victim carries no fault report")
+	}
+	if rep.BufferedEpochs != 3 {
+		t.Errorf("buffered position %d, want 3 (kill lands mid-epoch-2 compute)", rep.BufferedEpochs)
+	}
+	if rep.DurableEpochs >= rep.BufferedEpochs {
+		t.Errorf("durable position %d not behind buffered %d: the drain backlog must cost epochs",
+			rep.DurableEpochs, rep.BufferedEpochs)
+	}
+	if rep.RestartEpoch != rep.DurableEpochs {
+		t.Errorf("restart epoch %d, want durable position %d under node loss", rep.RestartEpoch, rep.DurableEpochs)
+	}
+	if rep.LostBytes == 0 || rep.RedrainBytes != 0 {
+		t.Errorf("lost=%d redrain=%d, node loss must destroy staged-only bytes", rep.LostBytes, rep.RedrainBytes)
+	}
+	if res[0].Burst.LostBytes != rep.LostBytes {
+		t.Errorf("tier lost %d != report lost %d", res[0].Burst.LostBytes, rep.LostBytes)
+	}
+	// The job still completes: every epoch is eventually written and
+	// everything that survived or was rewritten becomes PFS-durable.
+	if res[0].Burst.PendingBytes != 0 {
+		t.Errorf("pending %d after run, want 0", res[0].Burst.PendingBytes)
+	}
+	if res[1].Fault != nil {
+		t.Error("neighbour must not carry a fault report")
+	}
+}
+
+// TestFaultNVMeSurvivalRestartsFromBuffered keeps the staged state across
+// the failure: nothing is lost, the surviving bytes are redrained, and
+// the restart resumes from the buffered position.
+func TestFaultNVMeSurvivalRestartsFromBuffered(t *testing.T) {
+	f := &fault.Spec{KillEpoch: 2, KillFrac: 0.5, Node: 0, Survival: fault.SurviveNVMe, RestartDelay: 0.05}
+	res := runFault(t, f)
+	rep := res[0].Fault
+	if rep == nil {
+		t.Fatal("victim carries no fault report")
+	}
+	if rep.RestartEpoch != rep.BufferedEpochs {
+		t.Errorf("restart epoch %d, want buffered position %d under NVMe survival", rep.RestartEpoch, rep.BufferedEpochs)
+	}
+	if rep.LostBytes != 0 || rep.RedrainBytes == 0 {
+		t.Errorf("lost=%d redrain=%d, NVMe survival must preserve staged bytes", rep.LostBytes, rep.RedrainBytes)
+	}
+	if res[0].Burst.LostBytes != 0 || res[0].Burst.PendingBytes != 0 {
+		t.Errorf("tier lost=%d pending=%d after survivable restart, want 0/0", res[0].Burst.LostBytes, res[0].Burst.PendingBytes)
+	}
+}
+
+// TestFaultCostsDurableTime compares the faulted run against a clean one
+// and the two survivability levels against each other: a failure must
+// delay PFS durability, and losing the NVMe must cost at least as much
+// as keeping it.
+func TestFaultCostsDurableTime(t *testing.T) {
+	clean, err := jobs.Run(cluster.Dardel(), faultSpecs(nil), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := runFault(t, &fault.Spec{KillEpoch: 2, KillFrac: 0.5, Node: 0, Survival: fault.SurviveNone, RestartDelay: 0.05})
+	keep := runFault(t, &fault.Spec{KillEpoch: 2, KillFrac: 0.5, Node: 0, Survival: fault.SurviveNVMe, RestartDelay: 0.05})
+	if loss[0].DurableSec <= clean[0].DurableSec {
+		t.Errorf("faulted durable %.4fs not past clean %.4fs", loss[0].DurableSec, clean[0].DurableSec)
+	}
+	if loss[0].DurableSec < keep[0].DurableSec {
+		t.Errorf("node loss durable %.4fs cheaper than NVMe survival %.4fs", loss[0].DurableSec, keep[0].DurableSec)
+	}
+	if loss[0].Fault.RestartEpoch > keep[0].Fault.RestartEpoch {
+		t.Errorf("node loss restarts from %d, past NVMe survival's %d", loss[0].Fault.RestartEpoch, keep[0].Fault.RestartEpoch)
+	}
+	// The neighbour saw the victim's redrain/rewrite traffic but finished.
+	if loss[1].BytesWritten != clean[1].BytesWritten {
+		t.Errorf("neighbour wrote %d with fault vs %d clean", loss[1].BytesWritten, clean[1].BytesWritten)
+	}
+}
+
+// TestFaultWholeJob kills every node of the victim job at once.
+func TestFaultWholeJob(t *testing.T) {
+	f := &fault.Spec{KillEpoch: 1, KillFrac: 0.25, WholeJob: true, Survival: fault.SurviveNone, RestartDelay: 0.1}
+	res := runFault(t, f)
+	rep := res[0].Fault
+	if rep == nil {
+		t.Fatal("no fault report")
+	}
+	if rep.BufferedEpochs != 2 {
+		t.Errorf("buffered position %d, want 2", rep.BufferedEpochs)
+	}
+	if res[0].Burst.PendingBytes != 0 {
+		t.Errorf("pending %d after whole-job restart, want 0", res[0].Burst.PendingBytes)
+	}
+	if res[0].DurableSec <= 0 || res[0].BytesWritten == 0 {
+		t.Errorf("whole-job faulted run incomplete: %+v", res[0])
+	}
+}
+
+// TestFaultOnDirectJob injects into a job with no staging tier: every
+// buffered epoch is already PFS-durable, so the two positions coincide
+// and nothing is lost or redrained.
+func TestFaultOnDirectJob(t *testing.T) {
+	specs := faultSpecs(nil)
+	specs[1].Fault = &fault.Spec{KillEpoch: 2, KillFrac: 0.5, Node: 1, Survival: fault.SurviveNone, RestartDelay: 0.05}
+	res, err := jobs.Run(cluster.Dardel(), specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res[1].Fault
+	if rep == nil {
+		t.Fatal("direct job carries no fault report")
+	}
+	if rep.DurableEpochs != rep.BufferedEpochs {
+		t.Errorf("direct job positions diverge: %d durable vs %d buffered", rep.DurableEpochs, rep.BufferedEpochs)
+	}
+	if rep.LostBytes != 0 || rep.RedrainBytes != 0 {
+		t.Errorf("direct job lost=%d redrain=%d, want 0/0", rep.LostBytes, rep.RedrainBytes)
+	}
+}
+
+// TestFaultValidation rejects malformed fault specs at Run time.
+func TestFaultValidation(t *testing.T) {
+	for name, f := range map[string]*fault.Spec{
+		"epoch past schedule": {KillEpoch: 99},
+		"node outside job":    {Node: 7},
+		"frac out of range":   {KillFrac: 1.5},
+	} {
+		if _, err := jobs.Run(cluster.Dardel(), faultSpecs(f), 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestFaultDeterminism: two identical faulted runs must agree exactly.
+func TestFaultDeterminism(t *testing.T) {
+	f := &fault.Spec{KillEpoch: 2, KillFrac: 0.5, Node: 0, Survival: fault.SurviveNone, RestartDelay: 0.05}
+	a := runFault(t, f)
+	b := runFault(t, f)
+	if a[0].DurableSec != b[0].DurableSec || a[0].Fault.LostBytes != b[0].Fault.LostBytes {
+		t.Fatalf("faulted runs diverged: %+v vs %+v", a[0].Fault, b[0].Fault)
+	}
+}

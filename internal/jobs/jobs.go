@@ -20,6 +20,7 @@ import (
 
 	"picmcio/internal/burst"
 	"picmcio/internal/cluster"
+	"picmcio/internal/fault"
 	"picmcio/internal/pfs"
 	"picmcio/internal/posix"
 	"picmcio/internal/sim"
@@ -35,6 +36,15 @@ type Workload struct {
 	CheckpointBytes int64        // checkpoint bytes per node per epoch
 	DiagBytes       int64        // diagnostic bytes per node per epoch
 	ComputeSec      sim.Duration // compute phase between epochs
+
+	// WriteChunkBytes issues each file's bytes as a sequence of chunked
+	// writes instead of one call (0 = single write). Chunking is what an
+	// aggregator's flush loop really does, and it is load-bearing for the
+	// drain policies: an immediate drain overlaps write-back with the
+	// absorb of the remaining chunks, while an epoch-end drain cannot
+	// start until the nudge — the head start that separates the policies'
+	// durability positions under fault injection.
+	WriteChunkBytes int64
 }
 
 // bytesPerNode is one node's total output over the run.
@@ -58,6 +68,14 @@ type Spec struct {
 	// stripes are what make co-scheduled jobs share OSTs.
 	StripeCount int
 	StripeSize  int64 // stripe size in bytes; 0 = 4 MiB
+
+	// Fault injects a node (or whole-job) failure into the job's epoch
+	// schedule: the victim writer(s) die mid-epoch, the staged state on
+	// their nodes is destroyed or preserved per the spec's survivability
+	// model, and after the restart delay the victims resume from the last
+	// restartable checkpoint — re-contending drain bandwidth with every
+	// job that kept running. nil = no failure.
+	Fault *fault.Spec
 }
 
 // dir is the job's output directory on the shared file system.
@@ -68,13 +86,21 @@ type Result struct {
 	Name  string
 	Nodes int
 
-	AppSec       float64 // virtual time until the job's last writer finished its epochs
-	DurableSec   float64 // until every byte of the job was PFS-durable
+	AppSec     float64 // virtual time until the job's last writer finished its epochs
+	DurableSec float64 // until every byte of the job was PFS-durable
+	// BytesWritten is the job's logical output (epochs × per-node bytes ×
+	// nodes) — identical for faulted and clean runs, so slowdowns and
+	// fairness compare apples-to-apples. The extra traffic a recovery
+	// re-issues is reported separately as Fault.ReplayedBytes.
 	BytesWritten int64
-	ClientBps    float64 // apparent client-side bandwidth: bytes / AppSec
+	ClientBps    float64 // apparent client-side bandwidth: logical bytes / AppSec
 	DrainBps     float64 // achieved write-back bandwidth (0 for direct jobs)
 
 	Burst *burst.Stats // staging-tier accounting; nil for direct jobs
+	// Fault is the injected failure's recovery accounting (lost epochs at
+	// each durability level, destroyed vs redrained bytes); nil when the
+	// job ran without a fault.
+	Fault *fault.Report
 }
 
 // FairShareBps is the bandwidth the fairness index weighs for this job:
@@ -169,6 +195,11 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 		if s.Workload.Epochs < 1 {
 			return nil, fmt.Errorf("jobs: job %s needs at least one epoch", s.Name)
 		}
+		if s.Fault != nil {
+			if err := s.Fault.Validate(s.Nodes, s.Workload.Epochs); err != nil {
+				return nil, fmt.Errorf("jobs: job %s: %w", s.Name, err)
+			}
+		}
 		total += s.Nodes
 	}
 	k := sim.NewKernel()
@@ -197,11 +228,51 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 		if spec.Burst.Enabled() {
 			rt.tier = burst.NewTier(k, spec.Burst, sys.FS)
 		}
-		for n := 0; n < spec.Nodes; n++ {
-			node, client := n, alloc.Clients[n]
-			k.Spawn(fmt.Sprintf("job.%s.%d", spec.Name, node), func(p *sim.Proc) {
-				runNode(p, sys.FS, spec, node, client, rt)
+		rt.spawn = func(node, from int, mark bool) *sim.Proc {
+			client := alloc.Clients[node]
+			name := fmt.Sprintf("job.%s.%d", spec.Name, node)
+			if from > 0 || !mark {
+				name += ".restart"
+			}
+			return k.Spawn(name, func(p *sim.Proc) {
+				runNode(p, sys.FS, spec, node, client, rt, from, mark)
 			})
+		}
+		if spec.Fault != nil {
+			rt.ledger = &fault.Ledger{}
+			rt.epochFill = make([]int, spec.Workload.Epochs)
+			// arm fires when the kill epoch's writes are job-wide buffered
+			// (every node is then in its compute phase): the injector kills
+			// the victims KillFrac into that phase, crashes their buffers,
+			// and respawns their writers from the recovery epoch.
+			rt.arm = func(p *sim.Proc) {
+				f := spec.Fault
+				at := p.Now() + sim.Duration(f.KillFrac*float64(spec.Workload.ComputeSec))
+				var victims []fault.Victim
+				var nodes []int
+				for n := 0; n < spec.Nodes; n++ {
+					if f.WholeJob || n == f.Node {
+						victims = append(victims, fault.Victim{Proc: rt.writers[n], Node: alloc.Clients[n].Node})
+						nodes = append(nodes, n)
+					}
+				}
+				rt.inj = fault.Arm(k, at, *f, victims, rt.tier, rt.ledger, func(p *sim.Proc, from int) {
+					for _, n := range nodes {
+						// Respawn only writers the kill actually reached: a
+						// victim that finished before the kill fired (late
+						// kill epoch + cross-node skew) has completed its
+						// accounting, and re-running it would double-count
+						// the job's output.
+						if rt.writers[n].Killed() {
+							rt.writers[n] = rt.spawn(n, from, false)
+						}
+					}
+				})
+			}
+		}
+		rt.writers = make([]*sim.Proc, spec.Nodes)
+		for n := 0; n < spec.Nodes; n++ {
+			rt.writers[n] = rt.spawn(n, 0, true)
 		}
 	}
 	k.Run()
@@ -227,6 +298,16 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 			r.Burst = &st
 			r.DrainBps = st.DrainBandwidth()
 		}
+		if rt.inj != nil && rt.inj.Report != nil {
+			r.Fault = rt.inj.Report
+			victims := 1
+			if spec.Fault.WholeJob {
+				victims = spec.Nodes
+			}
+			if re := spec.Fault.KillEpoch + 1 - r.Fault.RestartEpoch; re > 0 {
+				r.Fault.ReplayedBytes = int64(re) * (spec.Workload.CheckpointBytes + spec.Workload.DiagBytes) * int64(victims)
+			}
+		}
 		out[i] = r
 	}
 	return out, nil
@@ -236,10 +317,41 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 // The sim kernel serializes processes, so plain fields are safe.
 type jobRT struct {
 	tier    *burst.Tier
+	spawn   func(node, fromEpoch int, mark bool) *sim.Proc
+	writers []*sim.Proc // current writer incarnation per node
 	appEnd  sim.Time
 	durEnd  sim.Time
 	written int64
 	err     error
+
+	// Fault-injection state (nil/unused when the spec carries no fault).
+	ledger    *fault.Ledger
+	epochFill []int             // writers that buffered each epoch so far
+	cum       int64             // per-node staged bytes through marked epochs
+	arm       func(p *sim.Proc) // schedules the injector at the kill epoch
+	armed     bool
+	inj       *fault.Injector
+}
+
+// markEpoch records a node's epoch completion; when the whole job has the
+// epoch buffered it lands a ledger mark, and at the kill epoch arms the
+// injector. Restarted writers re-execute epochs already marked, so they
+// skip this.
+func (rt *jobRT) markEpoch(p *sim.Proc, spec Spec, e int) {
+	if rt.ledger == nil {
+		return
+	}
+	rt.epochFill[e]++
+	if rt.epochFill[e] < spec.Nodes {
+		return
+	}
+	wl := spec.Workload
+	rt.cum += wl.CheckpointBytes + wl.DiagBytes
+	rt.ledger.Mark(p.Now(), rt.cum)
+	if !rt.armed && e == spec.Fault.KillEpoch {
+		rt.armed = true
+		rt.arm(p)
+	}
 }
 
 // runNode is one node's writer process: per epoch, a checkpoint file and
@@ -247,7 +359,15 @@ type jobRT struct {
 // write-back), an epoch-close drain nudge, then the compute phase. It
 // records the job's app end (last write returned) and durable end (every
 // staged byte written back) high-water marks on the shared jobRT.
-func runNode(p *sim.Proc, direct pfs.FileSystem, spec Spec, node int, client *pfs.Client, rt *jobRT) {
+//
+// A restarted incarnation (mark false) re-runs the epochs lost to a
+// fault: it rewrites the same per-epoch paths — the tier's truncate
+// semantics discard any stale staged copy — but skips the epoch ledger,
+// which froze at the kill. Checkpoint e captures the state entering
+// epoch e, so a restart from checkpoint startEpoch-1 must first redo
+// that epoch's compute phase before it can write checkpoint startEpoch;
+// only a from-scratch restart (startEpoch 0, initial state) skips it.
+func runNode(p *sim.Proc, direct pfs.FileSystem, spec Spec, node int, client *pfs.Client, rt *jobRT, startEpoch int, mark bool) {
 	fsx := direct
 	if rt.tier != nil {
 		fsx = rt.tier.FS()
@@ -255,23 +375,29 @@ func runNode(p *sim.Proc, direct pfs.FileSystem, spec Spec, node int, client *pf
 	env := &posix.Env{FS: fsx, Client: client}
 	dir := spec.dir()
 	wl := spec.Workload
-	for e := 0; e < wl.Epochs; e++ {
+	if !mark && startEpoch > 0 && wl.ComputeSec > 0 {
+		p.Sleep(wl.ComputeSec)
+	}
+	for e := startEpoch; e < wl.Epochs; e++ {
 		if wl.CheckpointBytes > 0 {
 			path := fmt.Sprintf("%s/ckpt_%03d_e%03d.dmp", dir, node, e)
-			if err := writeFile(p, env, path, wl.CheckpointBytes); err != nil {
+			if err := writeFile(p, env, path, wl.CheckpointBytes, wl.WriteChunkBytes); err != nil {
 				rt.fail(err)
 				return
 			}
 		}
 		if wl.DiagBytes > 0 {
 			path := fmt.Sprintf("%s/diag_%03d_e%03d.dat", dir, node, e)
-			if err := writeFile(p, env, path, wl.DiagBytes); err != nil {
+			if err := writeFile(p, env, path, wl.DiagBytes, wl.WriteChunkBytes); err != nil {
 				rt.fail(err)
 				return
 			}
 		}
 		if rt.tier != nil {
 			rt.tier.DrainEpoch(p)
+		}
+		if mark {
+			rt.markEpoch(p, spec, e)
 		}
 		if wl.ComputeSec > 0 {
 			p.Sleep(wl.ComputeSec)
@@ -295,13 +421,19 @@ func (rt *jobRT) fail(err error) {
 	}
 }
 
-// writeFile creates path and writes n volume-mode bytes through it.
-func writeFile(p *sim.Proc, env *posix.Env, path string, n int64) error {
+// writeFile creates path and writes n volume-mode bytes through it, as
+// one call or as sequential chunks of chunk bytes (chunk <= 0: one call).
+func writeFile(p *sim.Proc, env *posix.Env, path string, n, chunk int64) error {
 	fd, err := env.Create(p, path)
 	if err != nil {
 		return err
 	}
-	fd.Write(p, n, nil)
+	if chunk <= 0 {
+		chunk = n
+	}
+	for left := n; left > 0; left -= chunk {
+		fd.Write(p, min(chunk, left), nil)
+	}
 	fd.Close(p)
 	return nil
 }

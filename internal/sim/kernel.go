@@ -89,6 +89,7 @@ type Proc struct {
 	resume chan struct{}
 	parked bool
 	done   bool
+	killed bool
 }
 
 // Name reports the name given at Spawn time.
@@ -100,26 +101,15 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
+// killSignal is the panic payload a killed process unwinds with; the
+// spawn wrapper recognizes it and reports a clean death, not a panic.
+type killSignal struct{ name string }
+
 // Spawn creates a process and schedules it to start at the current virtual
 // time. The function fn runs in its own goroutine but is only ever executed
 // while the kernel has handed it control.
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan struct{})}
-	k.live++
-	k.schedule(k.now, p)
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				k.yield <- yieldMsg{kind: yieldPanic, val: fmt.Sprintf("sim: process %q panicked: %v", p.name, r)}
-				return
-			}
-			p.done = true
-			k.yield <- yieldMsg{kind: yieldDone}
-		}()
-		fn(p)
-	}()
-	return p
+	return k.SpawnAt(k.now, name, fn)
 }
 
 // SpawnAt is like Spawn but delays the start of the process to time at,
@@ -132,15 +122,17 @@ func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	k.live++
 	k.schedule(at, p)
 	go func() {
-		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				k.yield <- yieldMsg{kind: yieldPanic, val: fmt.Sprintf("sim: process %q panicked: %v", p.name, r)}
-				return
+				if _, ok := r.(killSignal); !ok {
+					k.yield <- yieldMsg{kind: yieldPanic, val: fmt.Sprintf("sim: process %q panicked: %v", p.name, r)}
+					return
+				}
 			}
 			p.done = true
 			k.yield <- yieldMsg{kind: yieldDone}
 		}()
+		p.await()
 		fn(p)
 	}()
 	return p
@@ -201,7 +193,19 @@ func (p *Proc) SleepUntil(t Time) {
 	}
 	p.k.schedule(t, p)
 	p.k.yield <- yieldMsg{kind: yieldSleep}
+	p.await()
+}
+
+// await blocks until the kernel hands the process control again, then
+// unwinds it if a Kill arrived while it was suspended. Every suspension
+// point funnels through here, so a kill takes effect at the victim's next
+// scheduling boundary — the discrete-event analogue of "the node died
+// while the program was blocked".
+func (p *Proc) await() {
 	<-p.resume
+	if p.killed {
+		panic(killSignal{p.name})
+	}
 }
 
 // Yield lets other processes scheduled at the current instant run first.
@@ -213,7 +217,26 @@ func (p *Proc) Yield() { p.SleepUntil(p.k.now) }
 func (p *Proc) Park() {
 	p.parked = true
 	p.k.yield <- yieldMsg{kind: yieldPark}
-	<-p.resume
+	p.await()
+}
+
+// Killed reports whether the process has been marked for termination.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Kill marks process q for termination and schedules it to resume at the
+// current virtual time: instead of continuing, q unwinds (running its
+// deferred functions) and counts as finished, never as a panic. This is
+// the fault-injection primitive — a victim blocked in a sleep, a resource
+// wait, or a park dies at that point in virtual time. Killing a finished
+// or already-killed process is a no-op. Any event still queued for q is
+// discarded when it pops (finished processes are skipped), and a Wake of
+// a killed process is likewise harmless.
+func (k *Kernel) Kill(q *Proc) {
+	if q == nil || q.done || q.killed {
+		return
+	}
+	q.killed = true
+	k.schedule(k.now, q)
 }
 
 // Wake schedules parked process q to resume at the current virtual time.
