@@ -10,7 +10,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: check test vet bench bench-compare smoke clean
+.PHONY: check test vet bench bench-compare smoke sweep-smoke clean
 
 check: vet test
 
@@ -30,14 +30,18 @@ bench:
 	$(GO) test -bench 'BenchmarkFault$$' -benchtime=1x -run '^$$' . > BENCH_fault.txt
 	cat BENCH_fault.txt
 	$(GO) run ./cmd/benchjson -o BENCH_fault.json < BENCH_fault.txt
+	$(GO) test -bench 'BenchmarkSweep$$' -benchtime=1x -run '^$$' . > BENCH_sweep.txt
+	cat BENCH_sweep.txt
+	$(GO) run ./cmd/benchjson -o BENCH_sweep.json < BENCH_sweep.txt
 
 # bench-compare is the regression gate: fresh results must stay within
 # 25% of the committed baselines (bench/*.json) on every throughput
 # metric. Refresh a baseline deliberately with:
-#   make bench && cp BENCH_contention.json BENCH_fault.json bench/
+#   make bench && cp BENCH_contention.json BENCH_fault.json BENCH_sweep.json bench/
 bench-compare: bench
 	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_contention.json BENCH_contention.json
 	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_fault.json BENCH_fault.json
+	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_sweep.json BENCH_sweep.json
 
 # smoke builds and runs every example with its interesting flag
 # combinations so examples cannot silently rot.
@@ -51,5 +55,13 @@ smoke:
 	$(GO) run ./examples/checkpoint-restart -burst -kill
 	$(GO) run ./examples/multi-job
 
+# sweep-smoke runs the two sweep-native artifacts at tiny scale and
+# writes their machine-readable JSON; CI archives the outputs.
+sweep-smoke:
+	$(GO) run ./cmd/experiments -parallel 4 figsizing campfail
+	$(GO) run ./cmd/experiments -json -parallel 4 figsizing > figsizing.json
+	$(GO) run ./cmd/experiments -json -parallel 4 -campaign-runs 1500 -campaign-mtbf 500 campfail > campfail.json
+
 clean:
 	rm -f BENCH_contention.json BENCH_contention.txt BENCH_fault.json BENCH_fault.txt
+	rm -f BENCH_sweep.json BENCH_sweep.txt figsizing.json campfail.json

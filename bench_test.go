@@ -359,3 +359,64 @@ func BenchmarkAblationBackbone(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweep exercises the sweep engine end to end on the two
+// sweep-native artifacts: the buffer-sizing grid (reporting the best
+// achieved write-back bandwidth as the gated throughput metric) and an
+// accelerated-MTBF failure campaign (loss ordering as context metrics).
+// A serial run must be bit-identical to a -parallel 4 run — the
+// engine's core guarantee — or the benchmark fails.
+func BenchmarkSweep(b *testing.B) {
+	o := experiments.Options{Seed: 1, CampaignRuns: 1200, CampaignMTBFHours: 500}
+	par := o
+	par.Parallel = 4
+	for i := 0; i < b.N; i++ {
+		sizing, err := o.FigSizing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sizingPar, err := par.FigSizing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sizing.Render() != sizingPar.Render() {
+			b.Fatal("sizing sweep diverged between serial and parallel runs")
+		}
+		var bestDrain, bestSpeedup float64
+		for _, p := range sizing.Points {
+			if v, ok := p.Get("drain_gibps"); ok && v > bestDrain {
+				bestDrain = v
+			}
+			if v, ok := p.Get("app_speedup_x"); ok && v > bestSpeedup {
+				bestSpeedup = v
+			}
+		}
+		b.ReportMetric(bestDrain, "best_drain_GiBps")
+		b.ReportMetric(bestSpeedup, "best_speedup_x")
+		b.ReportMetric(float64(len(sizing.Points)), "sizing_points")
+
+		camp, err := o.CampaignFailure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		campPar, err := par.CampaignFailure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if camp.Render() != campPar.Render() {
+			b.Fatal("failure campaign diverged between serial and parallel runs")
+		}
+		lost := map[string]float64{}
+		for _, p := range camp.Points {
+			cell := p.Extra.(experiments.CampaignCell)
+			if cell.QoS == "qos-off" {
+				lost[cell.Policy.String()] = cell.MeanLostPerFail
+			}
+		}
+		if !(lost["immediate"] < lost["watermark"]) {
+			b.Fatal("campaign must cost more lost node-hours under deferred write-back")
+		}
+		b.ReportMetric(lost["immediate"], "campaign_lost_nh_immediate")
+		b.ReportMetric(lost["watermark"], "campaign_lost_nh_watermark")
+	}
+}

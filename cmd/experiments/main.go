@@ -1,15 +1,20 @@
 // Command experiments regenerates the paper's tables and figures on the
 // simulated substrate. Each artifact prints as a text series or table;
+// sweep-backed artifacts can emit machine-readable JSON instead.
 // EXPERIMENTS.md records the paper-vs-measured comparison.
 //
 // Usage:
 //
+//	experiments -list                # catalogue with descriptions
 //	experiments -run fig2            # one artifact
 //	experiments -run all             # everything (minutes)
 //	experiments -run fig6 -nodes 200 # with explicit scale
+//	experiments -json figsizing      # sweep table as JSON
+//	experiments -parallel 8 figfault # bit-identical to -parallel 1
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,19 +22,28 @@ import (
 	"strings"
 
 	"picmcio/internal/experiments"
-	"picmcio/internal/fault"
-	"picmcio/internal/units"
 )
 
 func main() {
-	runWhat := flag.String("run", "all", "artifact: fig2,fig3,fig4,fig5,fig6,fig7,fig8,fig9,figburst,figcontention,figfault,tab1,tab2,lst1,all")
+	runWhat := flag.String("run", "all", "comma-separated artifact names (see -list), or all")
+	list := flag.Bool("list", false, "print every artifact name with its description and exit")
+	jsonOut := flag.Bool("json", false, "emit the sweep table as JSON instead of text (sweep-backed artifacts)")
+	parallel := flag.Int("parallel", 1, "sweep trial worker pool size (output is bit-identical at any width)")
 	nodes := flag.Int("nodes", 200, "node count for fixed-scale artifacts (fig5, fig6, fig8, fig9)")
 	nodeList := flag.String("node-list", "", "comma-separated node counts for scaling artifacts (default: paper set)")
 	ranksPerNode := flag.Int("ranks-per-node", 128, "MPI ranks per node")
 	diagEpochs := flag.Int("diag-epochs", 5, "simulated diagnostic epochs (paper run: 200)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	burstPolicy := flag.String("burst-policy", "", "figburst drain policy override: immediate, watermark, epoch-end")
+	campaignRuns := flag.Int("campaign-runs", 0, "campfail Monte-Carlo draws per cell (0 = auto-size to the expected-failure target)")
+	campaignMTBF := flag.Float64("campaign-mtbf", 0, "campfail per-node MTBF override in hours (0 = machine preset)")
 	flag.Parse()
+	if *list {
+		for _, a := range experiments.Catalog() {
+			fmt.Printf("%-14s  %s\n", a.Name, a.Desc)
+		}
+		return
+	}
 	if args := flag.Args(); len(args) > 0 {
 		// Positional form: `experiments figfault [figburst ...]`. Flags
 		// must come first (flag parsing stops at the first positional),
@@ -47,10 +61,13 @@ func main() {
 	}
 
 	o := experiments.Options{
-		Seed:         *seed,
-		RanksPerNode: *ranksPerNode,
-		DiagEpochs:   *diagEpochs,
-		BurstPolicy:  *burstPolicy,
+		Seed:              *seed,
+		RanksPerNode:      *ranksPerNode,
+		DiagEpochs:        *diagEpochs,
+		BurstPolicy:       *burstPolicy,
+		Parallel:          *parallel,
+		CampaignRuns:      *campaignRuns,
+		CampaignMTBFHours: *campaignMTBF,
 	}
 	if *nodeList != "" {
 		for _, part := range strings.Split(*nodeList, ",") {
@@ -63,162 +80,57 @@ func main() {
 	}
 	o = o.WithDefaults()
 
-	artifacts := strings.Split(*runWhat, ",")
+	names := strings.Split(*runWhat, ",")
 	if *runWhat == "all" {
-		artifacts = []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figburst", "figcontention", "figfault", "tab1", "tab2", "lst1"}
-	}
-	for _, a := range artifacts {
-		if err := runArtifact(strings.TrimSpace(a), o, *nodes); err != nil {
-			fatal(fmt.Errorf("%s: %w", a, err))
+		names = nil
+		for _, a := range experiments.Catalog() {
+			names = append(names, a.Name)
 		}
+	}
+	if *jsonOut && len(names) > 1 {
+		// One table per document: concatenated top-level JSON values would
+		// break any consumer doing a single parse of the output.
+		fatal(fmt.Errorf("-json emits one JSON document; run one artifact per invocation (got %d)", len(names)))
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		a, ok := experiments.Lookup(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown artifact %q (see -list)", name))
+		}
+		out, err := a.Run(o, *nodes)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if *jsonOut {
+			if err := emitJSON(name, out); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			continue
+		}
+		fmt.Print(out.Text)
 	}
 }
 
-func runArtifact(name string, o experiments.Options, nodes int) error {
-	switch name {
-	case "fig2":
-		ss, err := o.Fig2()
+// emitJSON writes the artifact's machine-readable form: the sweep table
+// for sweep-backed artifacts, a {artifact, text} wrapper otherwise.
+func emitJSON(name string, out experiments.Output) error {
+	if out.Table != nil {
+		buf, err := out.Table.JSON()
 		if err != nil {
 			return err
 		}
-		fmt.Println(experiments.RenderSeries("Fig 2: BIT1 original file I/O write throughput (GiB/s)", "nodes", ss))
-	case "fig3":
-		ss, err := o.Fig3()
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderSeries("Fig 3: original vs openPMD+BP4 on Dardel (GiB/s)", "nodes", ss))
-	case "fig4":
-		ss, err := o.Fig4()
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderSeries("Fig 4: BIT1 vs IOR on Dardel (GiB/s)", "nodes", ss))
-	case "fig5":
-		r, err := o.Fig5(nodes)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("# Fig 5: avg I/O cost per process on Dardel, %d nodes (full-run equivalent)\n", nodes)
-		fmt.Printf("%-24s  %-12s %-12s %-12s\n", "configuration", "read", "metadata", "write")
-		fmt.Printf("%-24s  %-12s %-12s %-12s\n", "BIT1 Original I/O",
-			units.Seconds(r.Original.ReadSec), units.Seconds(r.Original.MetaSec), units.Seconds(r.Original.WriteSec))
-		fmt.Printf("%-24s  %-12s %-12s %-12s\n", "BIT1 openPMD + BP4",
-			units.Seconds(r.OpenPMD.ReadSec), units.Seconds(r.OpenPMD.MetaSec), units.Seconds(r.OpenPMD.WriteSec))
-		if r.Original.MetaSec > 0 {
-			fmt.Printf("metadata reduction: %.2f%%\n", 100*(1-r.OpenPMD.MetaSec/r.Original.MetaSec))
-		}
-		if r.Original.WriteSec > 0 {
-			fmt.Printf("write reduction:    %.2f%%\n\n", 100*(1-r.OpenPMD.WriteSec/r.Original.WriteSec))
-		}
-	case "fig6":
-		s, err := o.Fig6(nodes, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderSeries(
-			fmt.Sprintf("Fig 6: aggregator sweep on Dardel, %d nodes (GiB/s)", nodes), "aggregators", []experiments.Series{s}))
-	case "fig7":
-		ss, err := o.Fig7()
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderSeries("Fig 7: Blosc + 1 AGGR vs original on Dardel (GiB/s)", "nodes", ss))
-	case "fig8":
-		r, err := o.Fig8(nodes)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("# Fig 8: BP4 memcpy time from profiling.json, %d nodes\n", nodes)
-		fmt.Printf("without compression: %.1f µs total memcpy\n", r.MemcpyMicrosNoComp)
-		fmt.Printf("with Blosc:          %.1f µs total memcpy (compress: %.1f µs)\n\n",
-			r.MemcpyMicrosBlosc, r.CompressMicrosBlosc)
-	case "fig9":
-		t, err := o.Fig9(nodes, nil, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Render())
-	case "figburst":
-		ss, pts, err := o.FigBurst()
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderSeries(
-			"Fig B: direct vs burst-buffer-staged openPMD+BP4 on Dardel (GiB/s)", "nodes", ss))
-		t := experiments.Table{
-			Title:  "Fig B drain accounting (Dardel burst tier)",
-			Header: []string{"nodes", "drain busy", "drain tail", "overlap", "absorbed", "fallback"},
-		}
-		for _, pt := range pts {
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprint(pt.Nodes),
-				units.Seconds(pt.DrainSec),
-				units.Seconds(pt.DrainTailSec),
-				fmt.Sprintf("%.1f%%", 100*pt.OverlapFrac),
-				units.Bytes(pt.AbsorbedBytes),
-				units.Bytes(pt.FallbackBytes),
-			})
-		}
-		fmt.Println(t.Render())
-	case "figcontention":
-		t, rows, err := o.FigContention()
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Render())
-		for _, row := range rows {
-			res := row.Result
-			fmt.Printf("%-10s  max slowdown %.3fx  Jain %.4f\n", row.Policy, res.MaxSlowdown(), res.Jain)
-		}
-		fmt.Println()
-	case "figfault":
-		t, cells, err := o.FigFault()
-		if err != nil {
-			return err
-		}
-		m := experiments.FaultMachine()
-		fmt.Printf("# %s node MTBF %.0fk h: a 24 h full-machine run expects %.2f node failures\n",
-			m.Name, m.MTBFNodeHours/1e3, fault.ExpectedFailures(m.MTBFNodeHours, m.MaxNodes, 24*3600))
-		fmt.Println(t.Render())
-		// Sanity line the grid exists to show: deferring write-back
-		// raises what a node loss costs.
-		lost := map[string]int{}
-		for _, c := range cells {
-			if c.QoS == "qos-off" {
-				lost[c.Policy.String()] += c.Report.LostEpochsPFS
-			}
-		}
-		fmt.Printf("lost epochs on node loss (qos-off, summed over kill times): immediate %d < epoch-end %d <= watermark %d\n",
-			lost["immediate"], lost["epoch-end"], lost["watermark"])
-		sc, err := o.FigFaultSurvival()
-		if err != nil {
-			return err
-		}
-		nl, nk := sc.NodeLoss.Fault, sc.NVMeKeep.Fault
-		fmt.Printf("survivability (watermark drain, kill e%d+%.0f%%): node loss restarts from epoch %d (%s destroyed); "+
-			"NVMe-surviving state restarts from epoch %d (%s redrained)\n\n",
-			nl.Spec.KillEpoch, 100*nl.Spec.KillFrac, nl.RestartEpoch, units.Bytes(nl.LostBytes),
-			nk.RestartEpoch, units.Bytes(nk.RedrainBytes))
-	case "tab1":
-		fmt.Println(experiments.Tab1().Render())
-	case "tab2":
-		t, err := o.Tab2()
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Render())
-	case "lst1":
-		out, err := experiments.Listing1()
-		if err != nil {
-			return err
-		}
-		fmt.Println("# Listing 1: lfs getstripe on simulated Dardel")
-		fmt.Println("$ lfs getstripe io_openPMD/dat_file.bp4/data.0")
-		fmt.Println(out)
-	default:
-		return fmt.Errorf("unknown artifact %q", name)
+		os.Stdout.Write(buf)
+		return nil
 	}
+	buf, err := json.MarshalIndent(struct {
+		Artifact string `json:"artifact"`
+		Text     string `json:"text"`
+	}{name, out.Text}, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(buf))
 	return nil
 }
 

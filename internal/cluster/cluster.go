@@ -83,6 +83,26 @@ type Machine struct {
 	MTBFNodeHours  float64
 	NVMeSurvival   fault.Survivability
 	NodeRestartSec float64
+
+	// Sizing declares the machine's buffer-sizing sweep ranges — the
+	// capacity × drain-rate grid a FigSizing run explores to locate the
+	// knee where staging stops helping. Empty ranges exclude the machine
+	// from the sweep (no burst tier, nothing to size).
+	Sizing Sizing
+}
+
+// Sizing is a machine's buffer-sizing sweep declaration, relative rather
+// than absolute so one grid serves any workload scale: capacities as
+// multiples of one epoch's per-node output, drain rates as fractions of
+// the preset drain rate.
+type Sizing struct {
+	CapacityEpochs []float64 // NVMe capacity / (per-node bytes per epoch)
+	DrainScale     []float64 // drain rate / preset burst.Spec.DrainRate
+}
+
+// Enabled reports whether the machine declares a sizing sweep.
+func (s Sizing) Enabled() bool {
+	return len(s.CapacityEpochs) > 0 && len(s.DrainScale) > 0
 }
 
 // FaultSpec builds a single-node failure spec from the machine's
@@ -172,6 +192,13 @@ func Dardel() Machine {
 		MTBFNodeHours:  500e3,
 		NVMeSurvival:   fault.SurviveNone,
 		NodeRestartSec: 120,
+		// Sizing sweep: the on-board NVMe is generous, so the interesting
+		// range is undersized capacity and throttled drain — where the
+		// staging win collapses.
+		Sizing: Sizing{
+			CapacityEpochs: []float64{0.5, 1, 2, 4},
+			DrainScale:     []float64{0.25, 0.5, 1, 2},
+		},
 	}
 }
 
@@ -220,6 +247,12 @@ func Vega() Machine {
 		MTBFNodeHours:  400e3,
 		NVMeSurvival:   fault.SurviveNVMe,
 		NodeRestartSec: 180,
+		// Sizing sweep: the watermark policy holds more back, so the grid
+		// reaches deeper capacities before the drain-rate axis bites.
+		Sizing: Sizing{
+			CapacityEpochs: []float64{0.5, 1, 2, 4},
+			DrainScale:     []float64{0.5, 1, 2},
+		},
 	}
 }
 

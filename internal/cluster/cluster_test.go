@@ -177,3 +177,37 @@ func TestAvailabilityKnobs(t *testing.T) {
 		t.Error("Vega must model NVMe-surviving staging")
 	}
 }
+
+// TestSizingRanges pins the buffer-sizing sweep declarations: machines
+// with a burst tier declare usable capacity × drain-rate ranges, and
+// the ranges stay sane (positive, burst-backed).
+func TestSizingRanges(t *testing.T) {
+	for _, m := range Machines() {
+		if !m.Sizing.Enabled() {
+			if m.Burst.Enabled() {
+				t.Errorf("%s: burst tier without sizing ranges", m.Name)
+			}
+			continue
+		}
+		if !m.Burst.Enabled() {
+			t.Errorf("%s: sizing ranges without a burst tier to size", m.Name)
+		}
+		for _, c := range m.Sizing.CapacityEpochs {
+			if c <= 0 {
+				t.Errorf("%s: non-positive capacity multiple %v", m.Name, c)
+			}
+		}
+		for _, d := range m.Sizing.DrainScale {
+			if d <= 0 {
+				t.Errorf("%s: non-positive drain scale %v", m.Name, d)
+			}
+		}
+	}
+	// The sweepable fleet is exactly the burst-carrying presets.
+	if !Dardel().Sizing.Enabled() || !Vega().Sizing.Enabled() {
+		t.Error("Dardel and Vega must declare sizing ranges")
+	}
+	if Discoverer().Sizing.Enabled() {
+		t.Error("Discoverer has no burst tier to size")
+	}
+}

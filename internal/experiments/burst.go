@@ -6,6 +6,7 @@ import (
 	"picmcio/internal/bit1"
 	"picmcio/internal/burst"
 	"picmcio/internal/cluster"
+	"picmcio/internal/sweep"
 )
 
 // BurstPoint is one node count of the burst-buffer figure: the direct vs
@@ -32,12 +33,10 @@ func burstTOML(numAgg int, durability string) string {
 	return s + aggrTOML(numAgg, "", 1)
 }
 
-// FigBurst is the burst-buffer staging figure (new scenario axis beyond
-// the paper's §IV tuning surface): on Dardel, BIT1 openPMD+BP4 writing
-// directly to Lustre vs staging through the node-local burst tier, across
-// node counts. Staged runs charge compute between epochs so the
-// asynchronous drain has something to overlap with.
-func (o Options) FigBurst() ([]Series, []BurstPoint, error) {
+// FigBurstSweep is FigBurst as a grid declaration: one axis (node count),
+// one trial measuring the direct and staged runs back to back. The Extra
+// payload carries the typed BurstPoint the figure's table builders use.
+func (o Options) FigBurstSweep() (sweep.Table, error) {
 	o = o.WithDefaults()
 	if o.ComputePerStep == 0 {
 		// ~20 ms of compute per 100-step epoch gap: enough window for the
@@ -48,41 +47,61 @@ func (o Options) FigBurst() ([]Series, []BurstPoint, error) {
 	if o.BurstPolicy != "" {
 		pol, err := burst.ParsePolicy(o.BurstPolicy)
 		if err != nil {
-			return nil, nil, err
+			return sweep.Table{}, err
 		}
 		m.Burst.Policy = pol
 	}
-	direct := Series{Label: "openPMD+BP4 direct", XLabel: "nodes", YLabel: "GiB/s"}
-	staged := Series{Label: "openPMD+BP4 staged", XLabel: "nodes", YLabel: "GiB/s"}
-	var pts []BurstPoint
-	for _, nodes := range o.NodeCounts {
-		rd, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, aggrTOML(nodes, "", 1))
-		if err != nil {
-			return nil, nil, fmt.Errorf("figburst direct/%d: %w", nodes, err)
-		}
-		rs, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, burstTOML(nodes, ""))
-		if err != nil {
-			return nil, nil, fmt.Errorf("figburst staged/%d: %w", nodes, err)
-		}
-		pt := BurstPoint{Nodes: nodes, DirectGiBs: rd.ThroughputGiBs, StagedGiBs: rs.ThroughputGiBs}
-		if rs.Burst != nil {
-			pt.DrainSec = rs.Burst.DrainBusySec
-			pt.DrainTailSec = rs.DrainTailSec
-			if pt.DrainSec > 0 {
-				pt.OverlapFrac = rs.DrainOverlapSec / pt.DrainSec
-				if pt.OverlapFrac > 1 {
-					pt.OverlapFrac = 1
-				}
+	g := sweep.Grid{sweep.Ints("nodes", o.NodeCounts)}
+	return sweep.Run(g, o.sweepOptions("Fig B: direct vs burst-buffer-staged openPMD+BP4 on Dardel (GiB/s)"),
+		func(c sweep.Config) (sweep.Point, error) {
+			nodes := c.Int("nodes")
+			rd, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, aggrTOML(nodes, "", 1))
+			if err != nil {
+				return sweep.Point{}, fmt.Errorf("figburst direct: %w", err)
 			}
-			pt.AbsorbedBytes = rs.Burst.AbsorbedBytes
-			pt.FallbackBytes = rs.Burst.FallbackBytes
-			pt.DrainedBytes = rs.Burst.DrainedBytes
-		}
-		pts = append(pts, pt)
-		direct.X = append(direct.X, float64(nodes))
-		direct.Y = append(direct.Y, pt.DirectGiBs)
-		staged.X = append(staged.X, float64(nodes))
-		staged.Y = append(staged.Y, pt.StagedGiBs)
+			rs, err := o.runBIT1(m, nodes, bit1.IOOpenPMD, burstTOML(nodes, ""))
+			if err != nil {
+				return sweep.Point{}, fmt.Errorf("figburst staged: %w", err)
+			}
+			pt := BurstPoint{Nodes: nodes, DirectGiBs: rd.ThroughputGiBs, StagedGiBs: rs.ThroughputGiBs}
+			if rs.Burst != nil {
+				pt.DrainSec = rs.Burst.DrainBusySec
+				pt.DrainTailSec = rs.DrainTailSec
+				if pt.DrainSec > 0 {
+					pt.OverlapFrac = rs.DrainOverlapSec / pt.DrainSec
+					if pt.OverlapFrac > 1 {
+						pt.OverlapFrac = 1
+					}
+				}
+				pt.AbsorbedBytes = rs.Burst.AbsorbedBytes
+				pt.FallbackBytes = rs.Burst.FallbackBytes
+				pt.DrainedBytes = rs.Burst.DrainedBytes
+			}
+			return sweep.Point{
+				Values: []sweep.Value{
+					sweep.V("direct_gibps", pt.DirectGiBs),
+					sweep.V("staged_gibps", pt.StagedGiBs),
+					sweep.V("drain_busy_s", pt.DrainSec),
+					sweep.V("drain_tail_s", pt.DrainTailSec),
+					sweep.V("overlap_frac", pt.OverlapFrac),
+					sweep.V("absorbed_bytes", float64(pt.AbsorbedBytes)),
+					sweep.V("fallback_bytes", float64(pt.FallbackBytes)),
+				},
+				Extra: pt,
+			}, nil
+		})
+}
+
+// FigBurst is the burst-buffer staging figure (new scenario axis beyond
+// the paper's §IV tuning surface): on Dardel, BIT1 openPMD+BP4 writing
+// directly to Lustre vs staging through the node-local burst tier, across
+// node counts. Staged runs charge compute between epochs so the
+// asynchronous drain has something to overlap with.
+func (o Options) FigBurst() ([]Series, []BurstPoint, error) {
+	t, err := o.FigBurstSweep()
+	if err != nil {
+		return nil, nil, err
 	}
-	return []Series{direct, staged}, pts, nil
+	ss, pts := burstSeriesAndPoints(t)
+	return ss, pts, nil
 }

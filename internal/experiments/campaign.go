@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/fault"
+	"picmcio/internal/jobs"
+	"picmcio/internal/sim"
+	"picmcio/internal/sweep"
+	"picmcio/internal/xrand"
+)
+
+// campaignTargetFailures is what the auto-sized draw count aims for: at
+// the preset MTBF a run almost never fails, so the campaign draws enough
+// runs that each cell expects roughly this many failures to measure.
+const campaignTargetFailures = 12
+
+// campaignMaxRuns caps the auto-sized draw count: a draw is a couple of
+// exponential samples, so even the cap is cheap. (Per-draw work is
+// bounded separately by fault.Arrivals' own truncation.)
+const campaignMaxRuns = 200_000
+
+// CampaignCell is one (drain policy × QoS) cell of the stochastic
+// failure campaign: the Monte-Carlo accounting over all sampled runs.
+type CampaignCell struct {
+	Policy burst.Policy
+	QoS    string
+
+	Runs             int     // production runs sampled
+	ExpectedPerRun   float64 // analytic expected failures per run (λ)
+	Failures         int     // runs whose first arrival landed inside the span
+	LostNodeHours    float64 // total lost node-hours across failing runs
+	MeanLostPerFail  float64 // mean lost node-hours per failure
+	LostPerKiloRun   float64 // expected lost node-hours per 1000 runs
+	MeanFaultCostSec float64 // mean simulated durable-completion cost per failure
+}
+
+// CampaignFailure is the stochastic failure campaign (ROADMAP: report
+// expected lost node-hours per drain policy/QoS instead of single-kill
+// grids). Per (drain policy × QoS) cell it samples a campaign of
+// production runs of the FigFault victim/neighbour scenario, each run
+// CampaignEpochHours of wall-clock per epoch long. Failure arrivals are
+// exponential draws (fault.Arrivals over the victim job's nodes at the
+// machine's MTBFNodeHours); a run whose first arrival lands inside the
+// span is simulated with the kill mapped onto (epoch, fraction, node),
+// and its recovery cost converted to lost node-hours via the campaign
+// clock. Seeding comes from the sweep engine's per-trial derivation, so
+// a parallel campaign draws the exact arrivals a serial one does.
+func (o Options) CampaignFailure() (sweep.Table, error) {
+	o = o.WithDefaults()
+	m := FaultMachine()
+	mtbf := m.MTBFNodeHours
+	if o.CampaignMTBFHours > 0 {
+		mtbf = o.CampaignMTBFHours
+	}
+	// The campaign's arrival rate and victim sampling derive from the
+	// scenario's own victim job, so a resized faultScenario cannot
+	// silently drift out of step with the sampler.
+	victim := faultScenario(burst.PolicyImmediate, burst.QoS{}, nil)[0]
+	wl := victim.Workload
+	victimNodes := victim.Nodes
+	spanHours := float64(wl.Epochs) * o.CampaignEpochHours
+	lambda := fault.ExpectedFailures(mtbf, victimNodes, sim.Duration(spanHours*3600))
+	runs := o.CampaignRuns
+	if runs <= 0 {
+		runs = campaignMaxRuns
+		// Compare in float space: a huge MTBF makes the needed draw count
+		// overflow int, and a wrapped-negative count would silently empty
+		// the campaign.
+		if need := campaignTargetFailures / lambda; lambda > 0 && need+1 < float64(runs) {
+			runs = int(need) + 1
+		}
+	}
+	g := sweep.Grid{faultPolicyAxis(), sweep.Strings("qos", FaultQoSPolicies)}
+	title := fmt.Sprintf("Campaign F: stochastic node failures on %s (MTBF %.3gk h, %d-epoch runs, %g h/epoch, %d runs/cell)",
+		m.Name, mtbf/1e3, wl.Epochs, o.CampaignEpochHours, runs)
+	return sweep.Run(g, o.sweepOptions(title),
+		func(c sweep.Config) (sweep.Point, error) {
+			pol := c.Value("policy").(burst.Policy)
+			qosName := c.Str("qos")
+			qos, err := faultQoS(qosName)
+			if err != nil {
+				return sweep.Point{}, err
+			}
+			cell := CampaignCell{Policy: pol, QoS: qosName, Runs: runs, ExpectedPerRun: lambda}
+			rng := xrand.New(c.Seed)
+			specs := faultScenario(pol, qos, nil)
+			// One clean baseline serves every failing run of the cell: the
+			// scenario is deterministic under o.Seed.
+			clean, err := jobs.Run(m, specs, o.Seed)
+			if err != nil {
+				return sweep.Point{}, fmt.Errorf("campfail clean: %w", err)
+			}
+			for run := 0; run < runs; run++ {
+				arrivals := fault.Arrivals(rng, mtbf, victimNodes, spanHours)
+				if len(arrivals) == 0 {
+					continue
+				}
+				// First-failure truncation: λ ≪ 1 per run, so the chance of
+				// a second failure inside one run's span is negligible and
+				// the recovery dynamics of a single kill are what the drain
+				// policies differ on.
+				t := arrivals[0]
+				epoch := int(t / o.CampaignEpochHours)
+				if epoch >= wl.Epochs {
+					epoch = wl.Epochs - 1
+				}
+				frac := t/o.CampaignEpochHours - float64(epoch)
+				if frac >= 1 {
+					frac = 0.999999
+				}
+				fs := &fault.Spec{
+					KillEpoch: epoch,
+					KillFrac:  frac,
+					Node:      rng.Intn(victimNodes),
+					Survival:  m.NVMeSurvival,
+					// The figfault-scale reschedule delay keeps the sim
+					// readable; the production-hours cost uses the machine's
+					// real NodeRestartSec below.
+					RestartDelay: 0.05,
+				}
+				res, err := jobs.Run(m, jobs.WithFault(specs, 0, fs), o.Seed)
+				if err != nil {
+					return sweep.Point{}, fmt.Errorf("campfail run %d: %w", run, err)
+				}
+				if res[0].Fault == nil {
+					// The sampled victim finished before the kill fired (a
+					// kill in the last epoch's tail): no recovery, nothing
+					// lost.
+					continue
+				}
+				cell.Failures++
+				cell.LostNodeHours += res[0].LostNodeHours(o.CampaignEpochHours, m.NodeRestartSec/3600)
+				cell.MeanFaultCostSec += res[0].DurableSec - clean[0].DurableSec
+			}
+			if cell.Failures > 0 {
+				cell.MeanLostPerFail = cell.LostNodeHours / float64(cell.Failures)
+				cell.MeanFaultCostSec /= float64(cell.Failures)
+			}
+			if runs > 0 {
+				cell.LostPerKiloRun = cell.LostNodeHours / float64(runs) * 1000
+			}
+			return sweep.Point{
+				Values: []sweep.Value{
+					sweep.V("runs", float64(cell.Runs)),
+					sweep.V("exp_failures_per_run", cell.ExpectedPerRun),
+					sweep.V("failures", float64(cell.Failures)),
+					sweep.V("mean_lost_nh_per_fail", cell.MeanLostPerFail),
+					sweep.V("lost_nh_per_kilorun", cell.LostPerKiloRun),
+					sweep.V("mean_fault_cost_s", cell.MeanFaultCostSec),
+				},
+				Extra: cell,
+			}, nil
+		})
+}
+
+// renderCampaign builds the artifact's text block: the campaign table
+// plus the policy ordering the campaign exists to quantify.
+func renderCampaign(t sweep.Table) string {
+	var b strings.Builder
+	b.WriteString(t.Render())
+	lost := map[string]float64{}
+	for _, p := range t.Points {
+		cell := p.Extra.(CampaignCell)
+		if cell.QoS == "qos-off" {
+			lost[cell.Policy.String()] = cell.MeanLostPerFail
+		}
+	}
+	fmt.Fprintf(&b, "mean lost node-hours per failure (qos-off): immediate %.2f, epoch-end %.2f, watermark %.2f\n\n",
+		lost["immediate"], lost["epoch-end"], lost["watermark"])
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"picmcio/internal/cluster"
 	"picmcio/internal/jobs"
 	"picmcio/internal/sim"
+	"picmcio/internal/sweep"
 	"picmcio/internal/units"
 )
 
@@ -70,31 +71,66 @@ func contentionSpecs(qos burst.QoS, epochs int) []jobs.Spec {
 	}
 }
 
+// FigContentionSweep is FigContention as a grid declaration: one axis
+// (the drain-QoS policy), one jobs.Contention run per cell. The Extra
+// payload carries the ContentionRow the figure's table builder uses.
+func (o Options) FigContentionSweep() (sweep.Table, error) {
+	o = o.WithDefaults()
+	m := cluster.Dardel()
+	g := sweep.Grid{sweep.Strings("policy", ContentionQoSPolicies)}
+	return sweep.Run(g, o.sweepOptions("Fig C: multi-job contention on Dardel (staged ckpt-heavy job vs direct neighbour)"),
+		func(c sweep.Config) (sweep.Point, error) {
+			policy := c.Str("policy")
+			// The deadline window is one epoch interval: absorb (~22 ms at
+			// NVMe speed) plus the compute phase — "drain by next epoch".
+			qos, err := contentionQoS(policy, 0.04)
+			if err != nil {
+				return sweep.Point{}, err
+			}
+			res, err := jobs.Contention(m, contentionSpecs(qos, 3), o.Seed)
+			if err != nil {
+				return sweep.Point{}, fmt.Errorf("figcontention: %w", err)
+			}
+			vals := []sweep.Value{
+				sweep.V("max_slowdown_x", res.MaxSlowdown()),
+				sweep.V("jain", res.Jain),
+			}
+			for i, j := range res.Jobs {
+				vals = append(vals,
+					sweep.V(j.Name+"_slowdown_x", res.Slowdown[i]),
+					sweep.V(j.Name+"_client_gibps", units.GiBps(j.ClientBps)))
+			}
+			return sweep.Point{Values: vals, Extra: ContentionRow{Policy: policy, Result: res}}, nil
+		})
+}
+
 // FigContention is the multi-job contention artifact: the two-job
 // scenario on Dardel under each drain-QoS policy, reporting per-job
 // slowdown vs an isolated run, apparent and write-back bandwidths, the
 // per-lane drain split, and Jain's fairness index per policy.
 func (o Options) FigContention() (Table, []ContentionRow, error) {
-	o = o.WithDefaults()
-	m := cluster.Dardel()
+	st, err := o.FigContentionSweep()
+	if err != nil {
+		return Table{}, nil, err
+	}
+	t, rows := contentionTable(st)
+	return t, rows, nil
+}
+
+// contentionTable builds the figure's text table and typed rows from the
+// sweep table (shared by FigContention and the catalogue entry). The
+// text table inherits the sweep's title, so text and JSON cannot drift.
+func contentionTable(st sweep.Table) (Table, []ContentionRow) {
 	t := Table{
-		Title: "Fig C: multi-job contention on Dardel (staged ckpt-heavy job vs direct neighbour)",
+		Title: st.Title,
 		Header: []string{"policy", "job", "nodes", "durable", "slowdown",
 			"client GiB/s", "drain GiB/s", "ckpt drained", "diag drained", "Jain"},
 	}
 	var rows []ContentionRow
-	for _, policy := range ContentionQoSPolicies {
-		// The deadline window is one epoch interval: absorb (~22 ms at
-		// NVMe speed) plus the compute phase — "drain by next epoch".
-		qos, err := contentionQoS(policy, 0.04)
-		if err != nil {
-			return t, nil, err
-		}
-		res, err := jobs.Contention(m, contentionSpecs(qos, 3), o.Seed)
-		if err != nil {
-			return t, nil, fmt.Errorf("figcontention %s: %w", policy, err)
-		}
-		rows = append(rows, ContentionRow{Policy: policy, Result: res})
+	for _, p := range st.Points {
+		row := p.Extra.(ContentionRow)
+		rows = append(rows, row)
+		res := row.Result
 		for i, j := range res.Jobs {
 			ck, dg := "-", "-"
 			drain := "-"
@@ -104,7 +140,7 @@ func (o Options) FigContention() (Table, []ContentionRow, error) {
 				drain = fmt.Sprintf("%.3f", units.GiBps(j.DrainBps))
 			}
 			t.Rows = append(t.Rows, []string{
-				policy, j.Name, fmt.Sprint(j.Nodes),
+				row.Policy, j.Name, fmt.Sprint(j.Nodes),
 				units.Seconds(j.DurableSec),
 				fmt.Sprintf("%.3fx", res.Slowdown[i]),
 				fmt.Sprintf("%.3f", units.GiBps(j.ClientBps)),
@@ -113,5 +149,5 @@ func (o Options) FigContention() (Table, []ContentionRow, error) {
 			})
 		}
 	}
-	return t, rows, nil
+	return t, rows
 }

@@ -7,6 +7,7 @@ import (
 	"picmcio/internal/cluster"
 	"picmcio/internal/fault"
 	"picmcio/internal/jobs"
+	"picmcio/internal/sweep"
 	"picmcio/internal/units"
 )
 
@@ -34,6 +35,16 @@ const (
 // FaultMachine is the machine the fault grid runs on — the single source
 // both FigFault and the cmd/experiments header derive it from.
 func FaultMachine() cluster.Machine { return cluster.Dardel() }
+
+// faultPolicyAxis is the drain-policy sweep axis FigFault and the
+// failure campaign share.
+func faultPolicyAxis() sweep.Axis {
+	a := sweep.Axis{Name: "policy"}
+	for _, p := range FaultDrainPolicies {
+		a.Values = append(a.Values, p)
+	}
+	return a
+}
 
 // FaultCell is one grid cell of the fault-injection figure.
 type FaultCell struct {
@@ -121,6 +132,77 @@ func figFaultSpec(frac float64) *fault.Spec {
 	}
 }
 
+// FigFaultSweep is FigFault as a grid declaration: drain policy × QoS ×
+// kill time. The clean baselines depend only on (policy, QoS), so they
+// are precomputed once per pair into an immutable map the trials read —
+// trials stay pure (parallel-deterministic) without re-simulating the
+// same clean co-schedule per kill time. The Extra payload carries the
+// FaultCell the figure's table builder uses.
+func (o Options) FigFaultSweep() (sweep.Table, error) {
+	o = o.WithDefaults()
+	m := FaultMachine()
+	type cleanKey struct {
+		pol burst.Policy
+		qos string
+	}
+	cleans := map[cleanKey]float64{}
+	for _, pol := range FaultDrainPolicies {
+		for _, qosName := range FaultQoSPolicies {
+			qos, err := faultQoS(qosName)
+			if err != nil {
+				return sweep.Table{}, err
+			}
+			clean, err := jobs.Run(m, faultScenario(pol, qos, nil), o.Seed)
+			if err != nil {
+				return sweep.Table{}, fmt.Errorf("figfault clean %s/%s: %w", pol, qosName, err)
+			}
+			cleans[cleanKey{pol, qosName}] = clean[0].DurableSec
+		}
+	}
+	g := sweep.Grid{
+		faultPolicyAxis(),
+		sweep.Strings("qos", FaultQoSPolicies),
+		sweep.Floats("kill_frac", FaultKillFracs),
+	}
+	return sweep.Run(g, o.sweepOptions("Fig F: node-loss fault injection on Dardel (staged victim + direct neighbour, kill in epoch 3/6)"),
+		func(c sweep.Config) (sweep.Point, error) {
+			pol := c.Value("policy").(burst.Policy)
+			qosName := c.Str("qos")
+			frac := c.Float("kill_frac")
+			qos, err := faultQoS(qosName)
+			if err != nil {
+				return sweep.Point{}, err
+			}
+			res, err := jobs.Run(m, faultScenario(pol, qos, figFaultSpec(frac)), o.Seed)
+			if err != nil {
+				return sweep.Point{}, fmt.Errorf("figfault: %w", err)
+			}
+			rep := res[0].Fault
+			if rep == nil {
+				return sweep.Point{}, fmt.Errorf("figfault: injection never fired")
+			}
+			cell := FaultCell{
+				Policy: pol, QoS: qosName, KillFrac: frac,
+				Report:        rep,
+				VictimDurable: res[0].DurableSec,
+				CleanDurable:  cleans[cleanKey{pol, qosName}],
+				NeighbourEnd:  res[1].DurableSec,
+			}
+			return sweep.Point{
+				Values: []sweep.Value{
+					sweep.V("buffered_epochs", float64(rep.BufferedEpochs)),
+					sweep.V("durable_epochs", float64(rep.DurableEpochs)),
+					sweep.V("lost_epochs_nvme", float64(rep.LostEpochsBuffered)),
+					sweep.V("lost_epochs_node", float64(rep.LostEpochsPFS)),
+					sweep.V("lost_bytes", float64(rep.LostBytes)),
+					sweep.V("victim_durable_s", cell.VictimDurable),
+					sweep.V("fault_cost_s", cell.VictimDurable-cell.CleanDurable),
+				},
+				Extra: cell,
+			}, nil
+		})
+}
+
 // FigFault is the fault-injection artifact: a kill-time × drain-policy ×
 // drain-QoS grid on Dardel where a victim node dies mid-epoch and loses
 // its NVMe. Per cell it reports the recovery position at both durability
@@ -130,55 +212,40 @@ func figFaultSpec(frac float64) *fault.Spec {
 // write-back is deferred, the more epochs exist only on the NVMe that
 // just died.
 func (o Options) FigFault() (Table, []FaultCell, error) {
-	o = o.WithDefaults()
-	m := FaultMachine()
+	st, err := o.FigFaultSweep()
+	if err != nil {
+		return Table{}, nil, err
+	}
+	t, cells := faultTable(st)
+	return t, cells, nil
+}
+
+// faultTable builds the figure's text table and typed cells from the
+// sweep table (shared by FigFault and the catalogue entry). The text
+// table inherits the sweep's title, so text and JSON cannot drift.
+func faultTable(st sweep.Table) (Table, []FaultCell) {
 	t := Table{
-		Title: "Fig F: node-loss fault injection on Dardel (staged victim + direct neighbour, kill in epoch 3/6)",
+		Title: st.Title,
 		Header: []string{"policy", "qos", "kill@", "buffered", "durable",
 			"lost(nvme)", "lost(node)", "lost bytes", "durable s", "fault cost"},
 	}
 	var cells []FaultCell
-	for _, pol := range FaultDrainPolicies {
-		for _, qosName := range FaultQoSPolicies {
-			qos, err := faultQoS(qosName)
-			if err != nil {
-				return t, nil, err
-			}
-			clean, err := jobs.Run(m, faultScenario(pol, qos, nil), o.Seed)
-			if err != nil {
-				return t, nil, fmt.Errorf("figfault clean %s/%s: %w", pol, qosName, err)
-			}
-			for _, frac := range FaultKillFracs {
-				res, err := jobs.Run(m, faultScenario(pol, qos, figFaultSpec(frac)), o.Seed)
-				if err != nil {
-					return t, nil, fmt.Errorf("figfault %s/%s@%.2f: %w", pol, qosName, frac, err)
-				}
-				rep := res[0].Fault
-				if rep == nil {
-					return t, nil, fmt.Errorf("figfault %s/%s@%.2f: injection never fired", pol, qosName, frac)
-				}
-				cell := FaultCell{
-					Policy: pol, QoS: qosName, KillFrac: frac,
-					Report:        rep,
-					VictimDurable: res[0].DurableSec,
-					CleanDurable:  clean[0].DurableSec,
-					NeighbourEnd:  res[1].DurableSec,
-				}
-				cells = append(cells, cell)
-				t.Rows = append(t.Rows, []string{
-					pol.String(), qosName, fmt.Sprintf("e%d+%.0f%%", rep.Spec.KillEpoch, 100*frac),
-					fmt.Sprintf("%d ep", rep.BufferedEpochs),
-					fmt.Sprintf("%d ep", rep.DurableEpochs),
-					fmt.Sprintf("%d ep", rep.LostEpochsBuffered),
-					fmt.Sprintf("%d ep", rep.LostEpochsPFS),
-					units.Bytes(rep.LostBytes),
-					units.Seconds(cell.VictimDurable),
-					units.Seconds(cell.VictimDurable - cell.CleanDurable),
-				})
-			}
-		}
+	for _, p := range st.Points {
+		cell := p.Extra.(FaultCell)
+		cells = append(cells, cell)
+		rep := cell.Report
+		t.Rows = append(t.Rows, []string{
+			cell.Policy.String(), cell.QoS, fmt.Sprintf("e%d+%.0f%%", rep.Spec.KillEpoch, 100*cell.KillFrac),
+			fmt.Sprintf("%d ep", rep.BufferedEpochs),
+			fmt.Sprintf("%d ep", rep.DurableEpochs),
+			fmt.Sprintf("%d ep", rep.LostEpochsBuffered),
+			fmt.Sprintf("%d ep", rep.LostEpochsPFS),
+			units.Bytes(rep.LostBytes),
+			units.Seconds(cell.VictimDurable),
+			units.Seconds(cell.VictimDurable - cell.CleanDurable),
+		})
 	}
-	return t, cells, nil
+	return t, cells
 }
 
 // FaultSurvivalComparison reruns one representative cell (watermark

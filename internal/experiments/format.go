@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"picmcio/internal/sweep"
 )
 
 // Series is one labelled curve of a figure.
@@ -57,32 +59,9 @@ func RenderSeries(title, xlabel string, ss []Series) string {
 	return b.String()
 }
 
-// Render formats the table as aligned text.
+// Render formats the table as aligned text via the sweep engine's shared
+// formatter, so hand-built figure tables and generic sweep tables line
+// up identically.
 func (t Table) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "# %s\n", t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i < len(widths) {
-				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
-			}
-		}
-		b.WriteByte('\n')
-	}
-	line(t.Header)
-	for _, row := range t.Rows {
-		line(row)
-	}
-	return b.String()
+	return sweep.FormatAligned(t.Title, t.Header, t.Rows)
 }

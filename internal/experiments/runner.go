@@ -25,6 +25,7 @@ import (
 	"picmcio/internal/pfs"
 	"picmcio/internal/posix"
 	"picmcio/internal/sim"
+	"picmcio/internal/sweep"
 	"picmcio/internal/units"
 	"picmcio/internal/workload"
 )
@@ -50,6 +51,25 @@ type Options struct {
 
 	FullDiagEpochs       int // production-run diagnostic outputs
 	FullCheckpointEpochs int // production-run checkpoints
+
+	// Parallel bounds the sweep engine's trial worker pool (<= 1:
+	// serial). Every artifact is bit-identical at any width: trials are
+	// pure functions of their sweep.Config, and per-trial seeds derive
+	// from Seed × trial index rather than evaluation order.
+	Parallel int
+
+	// CampaignRuns is the stochastic failure campaign's Monte-Carlo draw
+	// count per grid cell (0: auto-size so the cell expects
+	// campaignTargetFailures failures at the preset MTBF).
+	CampaignRuns int
+	// CampaignEpochHours is how many production hours one simulated
+	// epoch stands for in the campaign's failure-arrival clock
+	// (default 6: a checkpoint interval of a quarter day).
+	CampaignEpochHours float64
+	// CampaignMTBFHours overrides the machine preset's per-node MTBF in
+	// the campaign (0: keep the preset). Accelerated MTBFs make tiny
+	// smoke campaigns actually observe failures.
+	CampaignMTBFHours float64
 }
 
 // WithDefaults fills unset fields with the paper-faithful defaults.
@@ -72,7 +92,15 @@ func (o Options) WithDefaults() Options {
 	if o.FullCheckpointEpochs == 0 {
 		o.FullCheckpointEpochs = 20
 	}
+	if o.CampaignEpochHours == 0 {
+		o.CampaignEpochHours = 6
+	}
 	return o
+}
+
+// sweepOptions builds the engine options every artifact sweep shares.
+func (o Options) sweepOptions(title string) sweep.Options {
+	return sweep.Options{Title: title, Seed: o.Seed, Parallel: o.Parallel}
 }
 
 // EpochFactor is the full-run / simulated-run extrapolation ratio.

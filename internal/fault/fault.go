@@ -34,6 +34,7 @@ import (
 
 	"picmcio/internal/burst"
 	"picmcio/internal/sim"
+	"picmcio/internal/xrand"
 )
 
 // Survivability models what happens to a node's staged NVMe state when
@@ -281,9 +282,51 @@ func Arm(k *sim.Kernel, at sim.Time, spec Spec, victims []Victim, tier *burst.Ti
 // single-kill experiment against a machine's availability knobs — at a
 // 500k-hour node MTBF, a 24 h run on 1000 nodes expects ~0.05 failures;
 // a petascale campaign of such runs sees one every ~20 runs.
+//
+// Degenerate inputs — zero or negative span, no nodes, a non-positive,
+// NaN or infinite MTBF, a NaN or infinite span — return an explicit 0
+// rather than letting NaN/Inf leak into downstream campaign math: a
+// campaign multiplied by a NaN expectation would silently poison every
+// aggregate it feeds. A sub-hour MTBF is legitimate (heavily accelerated
+// test campaigns) and passes through untouched.
 func ExpectedFailures(mtbfHours float64, nodes int, span sim.Duration) float64 {
-	if mtbfHours <= 0 || nodes <= 0 || span <= 0 {
+	if math.IsNaN(mtbfHours) || math.IsInf(mtbfHours, 0) || mtbfHours <= 0 || nodes <= 0 {
 		return 0
 	}
-	return float64(span) / 3600 * float64(nodes) / mtbfHours
+	s := float64(span)
+	if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+		return 0
+	}
+	return s / 3600 * float64(nodes) / mtbfHours
+}
+
+// maxArrivals bounds one Arrivals call: a span holding more failures
+// than this (span/MTBF pathologically large, e.g. a sub-second MTBF fed
+// through a CLI flag) truncates after the first maxArrivals draws
+// instead of spinning and allocating without bound. Campaigns consume
+// arrivals from the front, so truncating the tail never changes which
+// failure a run observes first.
+const maxArrivals = 1 << 16
+
+// Arrivals samples node-failure arrival times over a span of production
+// hours: failures across the allocation's nodes form a Poisson process
+// with aggregate rate nodes/mtbfHours per hour, so inter-arrival gaps
+// are exponential draws (xrand.ExpFloat64) scaled by the mean gap. The
+// returned times are strictly increasing, in hours, all < spanHours,
+// truncated at maxArrivals. Degenerate inputs (guarded exactly as in
+// ExpectedFailures) return nil — no arrivals — rather than NaN-timed
+// failures.
+func Arrivals(r *xrand.RNG, mtbfHours float64, nodes int, spanHours float64) []float64 {
+	if math.IsNaN(mtbfHours) || math.IsInf(mtbfHours, 0) || mtbfHours <= 0 || nodes <= 0 {
+		return nil
+	}
+	if math.IsNaN(spanHours) || math.IsInf(spanHours, 0) || spanHours <= 0 {
+		return nil
+	}
+	meanGap := mtbfHours / float64(nodes)
+	var out []float64
+	for t := r.ExpFloat64() * meanGap; t < spanHours && len(out) < maxArrivals; t += r.ExpFloat64() * meanGap {
+		out = append(out, t)
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package fault_test
 
 import (
+	"math"
 	"testing"
 
 	"picmcio/internal/burst"
@@ -8,6 +9,7 @@ import (
 	"picmcio/internal/lustre"
 	"picmcio/internal/pfs"
 	"picmcio/internal/sim"
+	"picmcio/internal/xrand"
 )
 
 const dMB = 1_000_000
@@ -207,5 +209,95 @@ func TestExpectedFailures(t *testing.T) {
 	}
 	if fault.ExpectedFailures(0, 10, 100) != 0 || fault.ExpectedFailures(100, 0, 100) != 0 {
 		t.Error("degenerate inputs must report 0")
+	}
+}
+
+// TestExpectedFailuresEdgeCases pins the guard behavior campaign math
+// relies on: degenerate inputs report an explicit 0 instead of leaking
+// NaN/Inf into expected-loss aggregates, while legitimately extreme
+// inputs (sub-hour MTBF) pass through finite.
+func TestExpectedFailuresEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name  string
+		mtbf  float64
+		nodes int
+		span  sim.Duration
+		want  float64 // -1: any finite positive value
+	}{
+		{"zero span", 500e3, 1000, 0, 0},
+		{"negative span", 500e3, 1000, -3600, 0},
+		{"zero nodes", 500e3, 0, 24 * 3600, 0},
+		{"negative nodes", 500e3, -4, 24 * 3600, 0},
+		{"zero mtbf", 0, 1000, 24 * 3600, 0},
+		{"negative mtbf", -1, 1000, 24 * 3600, 0},
+		{"nan mtbf", nan, 1000, 24 * 3600, 0},
+		{"inf mtbf", inf, 1000, 24 * 3600, 0},
+		{"nan span", 500e3, 1000, sim.Duration(nan), 0},
+		{"inf span", 500e3, 1000, sim.Duration(inf), 0},
+		{"sub-hour mtbf", 0.5, 10, 3600, -1},
+		{"everything degenerate", 0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		got := fault.ExpectedFailures(c.mtbf, c.nodes, c.span)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: ExpectedFailures leaked %v", c.name, got)
+			continue
+		}
+		if c.want == -1 {
+			if got <= 0 {
+				t.Errorf("%s: ExpectedFailures = %v, want finite positive", c.name, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: ExpectedFailures = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// The sub-hour value itself: 10 node-hours at a 0.5 h MTBF = 20.
+	if got := fault.ExpectedFailures(0.5, 10, 3600); got != 20 {
+		t.Errorf("sub-hour MTBF expectation = %v, want 20", got)
+	}
+}
+
+// TestArrivals pins the campaign sampler: guards mirror
+// ExpectedFailures, times are strictly increasing inside the span, and
+// the draw count tracks the analytic expectation.
+func TestArrivals(t *testing.T) {
+	// Degenerate inputs: no arrivals, never NaN-timed ones.
+	for name, got := range map[string][]float64{
+		"zero mtbf":  fault.Arrivals(xrand.New(1), 0, 10, 100),
+		"zero nodes": fault.Arrivals(xrand.New(1), 100, 0, 100),
+		"zero span":  fault.Arrivals(xrand.New(1), 100, 10, 0),
+		"nan mtbf":   fault.Arrivals(xrand.New(1), math.NaN(), 10, 100),
+		"inf span":   fault.Arrivals(xrand.New(1), 100, 10, math.Inf(1)),
+	} {
+		if got != nil {
+			t.Errorf("%s: arrivals = %v, want nil", name, got)
+		}
+	}
+	// λ = span·nodes/mtbf = 1000·10/100 = 100 expected arrivals.
+	ts := fault.Arrivals(xrand.New(7), 100, 10, 1000)
+	if len(ts) < 70 || len(ts) > 130 {
+		t.Fatalf("arrivals = %d, want ~100", len(ts))
+	}
+	last := 0.0
+	for _, x := range ts {
+		if x <= last || x >= 1000 {
+			t.Fatalf("arrival %v out of order or span (prev %v)", x, last)
+		}
+		last = x
+	}
+	// Same generator state ⇒ same draws (bit-reproducible campaigns).
+	a := fault.Arrivals(xrand.New(9), 500e3, 2, 36)
+	b := fault.Arrivals(xrand.New(9), 500e3, 2, 36)
+	if len(a) != len(b) {
+		t.Fatalf("replayed arrivals diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replayed arrivals diverged at %d", i)
+		}
 	}
 }

@@ -103,6 +103,41 @@ type Result struct {
 	Fault *fault.Report
 }
 
+// WithFault returns a copy of specs with job jobIdx carrying failure f —
+// the campaign hook that stamps one sampled failure onto a co-schedule
+// without mutating the caller's scenario declaration, so a failure
+// campaign can reuse one spec set across thousands of draws.
+func WithFault(specs []Spec, jobIdx int, f *fault.Spec) []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	if jobIdx >= 0 && jobIdx < len(out) {
+		out[jobIdx].Fault = f
+	}
+	return out
+}
+
+// LostNodeHours converts the job's failure report into lost production
+// node-hours, given what one simulated epoch stands for in production
+// hours and the real reschedule delay in hours: the epochs the restart
+// re-executes on each restarting node, plus the time those nodes sat in
+// reboot/reschedule. A job that ran clean lost nothing. This is the
+// quantity a stochastic failure campaign accumulates — expected lost
+// node-hours per run — instead of a single kill's epoch count.
+func (r Result) LostNodeHours(epochHours, restartHours float64) float64 {
+	if r.Fault == nil {
+		return 0
+	}
+	victims := 1
+	if r.Fault.Spec.WholeJob {
+		victims = r.Nodes
+	}
+	lost := r.Fault.Spec.KillEpoch + 1 - r.Fault.RestartEpoch
+	if lost < 0 {
+		lost = 0
+	}
+	return float64(victims) * (float64(lost)*epochHours + restartHours)
+}
+
 // FairShareBps is the bandwidth the fairness index weighs for this job:
 // the achieved drain bandwidth for staged jobs, the apparent client
 // bandwidth for direct jobs (their "drain" is the write itself).

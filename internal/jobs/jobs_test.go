@@ -6,6 +6,7 @@ import (
 
 	"picmcio/internal/burst"
 	"picmcio/internal/cluster"
+	"picmcio/internal/fault"
 	"picmcio/internal/jobs"
 	"picmcio/internal/units"
 )
@@ -144,5 +145,56 @@ func TestJainIndex(t *testing.T) {
 	}
 	if j := jobs.JainIndex([]float64{3, 1}); j <= 0.5 || j >= 1 {
 		t.Fatalf("skewed=%v, want in (0.5, 1)", j)
+	}
+}
+
+// TestWithFault pins the campaign hook: the returned co-schedule carries
+// the failure without mutating the caller's scenario declaration.
+func TestWithFault(t *testing.T) {
+	specs := []jobs.Spec{{Name: "victim", Nodes: 2}, {Name: "neighbour", Nodes: 2}}
+	f := &fault.Spec{KillEpoch: 1, KillFrac: 0.5}
+	out := jobs.WithFault(specs, 0, f)
+	if out[0].Fault != f || out[1].Fault != nil {
+		t.Fatalf("fault placement wrong: %+v", out)
+	}
+	if specs[0].Fault != nil {
+		t.Fatal("WithFault mutated the caller's specs")
+	}
+	// An out-of-range index leaves the copy untouched rather than
+	// panicking mid-campaign.
+	for _, idx := range []int{-1, 2} {
+		clean := jobs.WithFault(specs, idx, f)
+		if clean[0].Fault != nil || clean[1].Fault != nil {
+			t.Errorf("index %d stamped a fault", idx)
+		}
+	}
+}
+
+// TestLostNodeHours pins the campaign's loss accounting.
+func TestLostNodeHours(t *testing.T) {
+	// Clean run: nothing lost.
+	if got := (jobs.Result{Nodes: 4}).LostNodeHours(6, 0.1); got != 0 {
+		t.Errorf("clean run lost %v node-hours", got)
+	}
+	// One victim node redoes 3 epochs (kill in epoch 2, restart from 0)
+	// at 6 h/epoch plus a 0.05 h reschedule.
+	r := jobs.Result{Nodes: 4, Fault: &fault.Report{
+		Spec:         fault.Spec{KillEpoch: 2},
+		RestartEpoch: 0,
+	}}
+	if got, want := r.LostNodeHours(6, 0.05), 3*6.0+0.05; math.Abs(got-want) > 1e-12 {
+		t.Errorf("single-victim loss = %v, want %v", got, want)
+	}
+	// Whole-job failure: every node pays.
+	r.Fault.Spec.WholeJob = true
+	if got, want := r.LostNodeHours(6, 0.05), 4*(3*6.0+0.05); math.Abs(got-want) > 1e-12 {
+		t.Errorf("whole-job loss = %v, want %v", got, want)
+	}
+	// A restart position past the kill epoch (NVMe-surviving restart from
+	// buffered state) cannot go negative.
+	r.Fault.Spec.WholeJob = false
+	r.Fault.RestartEpoch = 5
+	if got := r.LostNodeHours(6, 0); got != 0 {
+		t.Errorf("negative epoch loss leaked: %v", got)
 	}
 }

@@ -36,6 +36,19 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// SeedAt derives the seed of sweep trial index from a run's base seed:
+// two SplitMix64 steps keyed by base and index. Trial seeds depend only
+// on (base, index), never on evaluation order, so a parallel parameter
+// sweep draws bit-identical streams to a serial one; and because
+// SplitMix64 is a bijective mixer, distinct indices under one base never
+// collide into the same seed.
+func SeedAt(base, index uint64) uint64 {
+	x := base
+	h := splitmix64(&x)
+	x = h ^ (index+1)*0xd1342543de82ef95
+	return splitmix64(&x)
+}
+
 // Split derives an independent generator from this one, keyed by label.
 // Splitting does not perturb the parent stream.
 func (r *RNG) Split(label uint64) *RNG {
