@@ -33,15 +33,33 @@ bench:
 	$(GO) test -bench 'BenchmarkSweep$$' -benchtime=1x -run '^$$' . > BENCH_sweep.txt
 	cat BENCH_sweep.txt
 	$(GO) run ./cmd/benchjson -o BENCH_sweep.json < BENCH_sweep.txt
+	$(GO) test -bench 'BenchmarkInterval$$' -benchtime=1x -run '^$$' . > BENCH_interval.txt
+	cat BENCH_interval.txt
+	$(GO) run ./cmd/benchjson -o BENCH_interval.json < BENCH_interval.txt
+
+# BENCH_BASELINES lists the committed regression baselines the compare
+# gate runs against, by stem.
+BENCH_BASELINES := BENCH_contention BENCH_fault BENCH_sweep BENCH_interval
 
 # bench-compare is the regression gate: fresh results must stay within
 # 25% of the committed baselines (bench/*.json) on every throughput
-# metric. Refresh a baseline deliberately with:
-#   make bench && cp BENCH_contention.json BENCH_fault.json BENCH_sweep.json bench/
+# metric. A missing baseline fails up front with the full list of absent
+# files (instead of whatever benchjson emits on ENOENT) — refresh them
+# deliberately with:
+#   make bench && cp $(BENCH_BASELINES:%=%.json) bench/
 bench-compare: bench
-	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_contention.json BENCH_contention.json
-	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_fault.json BENCH_fault.json
-	$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_sweep.json BENCH_sweep.json
+	@missing=""; \
+	for stem in $(BENCH_BASELINES); do \
+		[ -f bench/$$stem.json ] || missing="$$missing bench/$$stem.json"; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "bench-compare: missing committed baseline file(s):$$missing" >&2; \
+		echo "bench-compare: regenerate with 'make bench && cp $(BENCH_BASELINES:%=%.json) bench/'" >&2; \
+		exit 1; \
+	fi
+	for stem in $(BENCH_BASELINES); do \
+		$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/$$stem.json $$stem.json || exit 1; \
+	done
 
 # smoke builds and runs every example with its interesting flag
 # combinations so examples cannot silently rot.
@@ -53,15 +71,21 @@ smoke:
 	$(GO) run ./examples/checkpoint-restart
 	$(GO) run ./examples/checkpoint-restart -burst
 	$(GO) run ./examples/checkpoint-restart -burst -kill
+	$(GO) run ./examples/checkpoint-restart -burst -auto-interval
 	$(GO) run ./examples/multi-job
 
-# sweep-smoke runs the two sweep-native artifacts at tiny scale and
-# writes their machine-readable JSON; CI archives the outputs.
+# sweep-smoke runs the sweep-native artifacts at tiny scale and writes
+# their machine-readable JSON; CI archives the outputs. The -optimal
+# campaign run doubles as the interval-recommendation validation at an
+# accelerated MTBF.
 sweep-smoke:
 	$(GO) run ./cmd/experiments -parallel 4 figsizing campfail
+	$(GO) run ./cmd/experiments -parallel 4 -optimal -campaign-mtbf 500 campfail
 	$(GO) run ./cmd/experiments -json -parallel 4 figsizing > figsizing.json
 	$(GO) run ./cmd/experiments -json -parallel 4 -campaign-runs 1500 -campaign-mtbf 500 campfail > campfail.json
+	$(GO) run ./cmd/experiments -json -parallel 4 figinterval > figinterval.json
 
 clean:
 	rm -f BENCH_contention.json BENCH_contention.txt BENCH_fault.json BENCH_fault.txt
-	rm -f BENCH_sweep.json BENCH_sweep.txt figsizing.json campfail.json
+	rm -f BENCH_sweep.json BENCH_sweep.txt BENCH_interval.json BENCH_interval.txt
+	rm -f figsizing.json campfail.json figinterval.json

@@ -10,6 +10,7 @@
 package picmcio
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -276,6 +277,54 @@ func BenchmarkFault(b *testing.B) {
 		}
 		if nk.DrainBps <= 0 {
 			b.Fatal("surviving staged state must redrain at nonzero bandwidth")
+		}
+	}
+}
+
+// BenchmarkInterval measures the checkpoint-interval optimizer stack
+// (the fourth post-paper scenario axis): cost probes through the burst
+// and PFS write paths priced into Young/Daly plans. The gated
+// throughput metrics are the probes' effective checkpoint bandwidths —
+// a regression there means the measured cost model drifted. Closed
+// forms must agree with the numeric minimizer, and the buffered cadence
+// must come out shorter than the PFS one (cheap saves ⇒ checkpoint more
+// often).
+func BenchmarkInterval(b *testing.B) {
+	o := experiments.Options{Seed: 1}
+	for i := 0; i < b.N; i++ {
+		st, err := o.FigIntervalSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ckptBytes := float64(128 << 20)
+		for _, p := range st.Points {
+			cell := p.Extra.(experiments.IntervalCell)
+			if cell.Machine != "Dardel" || cell.Policy != "immediate" || cell.Scale != 1 {
+				continue
+			}
+			l := cell.Level
+			switch cell.Durability {
+			case "buffered":
+				b.ReportMetric(ckptBytes/l.SaveSec/(1<<30), "buffered_ckpt_GiBps")
+				b.ReportMetric(l.NumericSec, "buffered_opt_interval_s")
+			case "pfs":
+				b.ReportMetric(ckptBytes/l.SaveSec/(1<<30), "pfs_ckpt_GiBps")
+				b.ReportMetric(l.NumericSec, "pfs_opt_interval_s")
+			}
+			if gap := math.Abs(l.NumericSec-l.DalySec) / l.NumericSec; gap > 0.02 {
+				b.Fatalf("%s %s: numeric optimum %v vs Daly %v diverge by %.3f",
+					cell.Machine, cell.Durability, l.NumericSec, l.DalySec, gap)
+			}
+		}
+		byDur := map[string]float64{}
+		for _, p := range st.Points {
+			cell := p.Extra.(experiments.IntervalCell)
+			if cell.Machine == "Dardel" && cell.Policy == "immediate" && cell.Scale == 1 {
+				byDur[cell.Durability] = cell.Level.NumericSec
+			}
+		}
+		if !(byDur["buffered"] > 0 && byDur["buffered"] < byDur["pfs"]) {
+			b.Fatalf("buffered cadence %v must be shorter than PFS %v", byDur["buffered"], byDur["pfs"])
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	experiments -run fig6 -nodes 200 # with explicit scale
 //	experiments -json figsizing      # sweep table as JSON
 //	experiments -parallel 8 figfault # bit-identical to -parallel 1
+//	experiments -optimal campfail    # validate the ckptopt interval
 package main
 
 import (
@@ -36,7 +37,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	burstPolicy := flag.String("burst-policy", "", "figburst drain policy override: immediate, watermark, epoch-end")
 	campaignRuns := flag.Int("campaign-runs", 0, "campfail Monte-Carlo draws per cell (0 = auto-size to the expected-failure target)")
-	campaignMTBF := flag.Float64("campaign-mtbf", 0, "campfail per-node MTBF override in hours (0 = machine preset)")
+	campaignMTBF := flag.Float64("campaign-mtbf", 0, "campfail/figinterval per-node MTBF override in hours (0 = machine preset)")
+	optimal := flag.Bool("optimal", false, "campfail validation mode: run at the ckptopt-recommended interval vs fixed baselines")
 	flag.Parse()
 	if *list {
 		for _, a := range experiments.Catalog() {
@@ -68,6 +70,7 @@ func main() {
 		Parallel:          *parallel,
 		CampaignRuns:      *campaignRuns,
 		CampaignMTBFHours: *campaignMTBF,
+		CampaignOptimal:   *optimal,
 	}
 	if *nodeList != "" {
 		for _, part := range strings.Split(*nodeList, ",") {

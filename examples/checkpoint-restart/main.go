@@ -26,6 +26,7 @@ import (
 	"log"
 
 	"picmcio/internal/burst"
+	"picmcio/internal/ckptopt"
 	"picmcio/internal/fault"
 	"picmcio/internal/lustre"
 	"picmcio/internal/mpisim"
@@ -192,9 +193,16 @@ func killRun(k *sim.Kernel, env *posix.Env, tier *burst.Tier, path, toml string,
 func main() {
 	useBurst := flag.Bool("burst", false, "stage checkpoints through a node-local burst buffer")
 	kill := flag.Bool("kill", false, "lose the node at step 250, mid-epoch (requires -burst)")
+	autoInterval := flag.Bool("auto-interval", false,
+		"derive the checkpoint cadence from the measured save costs (Young/Daly via internal/ckptopt) and rerun at it")
+	mtbf := flag.Float64("mtbf", 0.05,
+		"accelerated node MTBF in virtual seconds for -auto-interval (production MTBFs would recommend checkpointing less often than this demo runs)")
 	flag.Parse()
 	if *kill && !*useBurst {
 		log.Fatal("-kill requires -burst: without staging every checkpoint is already PFS-durable")
+	}
+	if *kill && *autoInterval {
+		log.Fatal("-auto-interval needs the timing passes the -kill flow skips: run them separately")
 	}
 
 	k := sim.NewKernel()
@@ -295,15 +303,98 @@ func main() {
 		fmt.Printf("(only the LAST checkpoint is on disk — iteration 0 was overwritten in place)\n")
 	})
 
+	var durableSave float64
 	if tier != nil {
 		// Same workload, but every epoch close waits for PFS durability.
 		fmt.Println("\n=== staged run (PFS-durable checkpoints, burst_durability = \"pfs\") ===")
 		durableToml := "burst_durability = \"pfs\"\n" + toml
-		durableSave, _, _, _, _ := checkpointRun(k, env, tier, "/scratch/checkpoint-pfs.bp4", durableToml)
+		durableSave, _, _, _, _ = checkpointRun(k, env, tier, "/scratch/checkpoint-pfs.bp4", durableToml)
 		fmt.Printf("\navg checkpoint cost: buffered-durable %.1f µs vs PFS-durable %.1f µs (%.0fx)\n",
 			1e6*bufferedSave, 1e6*durableSave, durableSave/bufferedSave)
 		fmt.Println("buffered saves return at NVMe speed; the drain overlaps the next compute phase")
 	}
+
+	if *autoInterval {
+		autoIntervalRun(k, env, tier, toml, *mtbf, bufferedSave, durableSave, drainSec)
+	}
+}
+
+// stepComputeSec is the virtual compute charged per PIC step in the
+// auto-interval pass — the clock the recommended interval converts into
+// a steps-between-checkpoints cadence.
+const stepComputeSec = 40e-6
+
+// autoIntervalRun is the -auto-interval flow: price the measured save
+// costs with ckptopt against the (accelerated) MTBF, print the
+// per-level Young/Daly/numeric recommendations, and rerun the
+// checkpoint loop at the recommended cadence instead of the hard-coded
+// every-100-steps one.
+func autoIntervalRun(k *sim.Kernel, env *posix.Env, tier *burst.Tier, toml string, mtbfSec, bufferedSave, durableSave, drainSec float64) {
+	costs := ckptopt.Costs{
+		MTBFSec: mtbfSec,
+		// The demo's recovery path is the killRun one: staged state
+		// survives and redrains.
+		SurvivalProb:       1,
+		DurableSaveSec:     durableSave,
+		BufferedRestartSec: drainSec, // redrain before the restart reads
+		DurableLagSec:      drainSec,
+	}
+	if tier != nil {
+		costs.BufferedSaveSec = bufferedSave
+	} else {
+		// Without staging the timing pass measured direct PFS saves.
+		costs.DurableSaveSec = bufferedSave
+	}
+	plan, err := ckptopt.Optimize(costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== auto-interval: ckptopt on the measured save costs (accelerated MTBF %.3f s) ===\n", mtbfSec)
+	for _, l := range plan.Levels() {
+		fmt.Printf("%-8s save %7.1f µs → checkpoint every %.2f ms (Young %.2f, Daly %.2f, waste %.2f%%)\n",
+			l.Name, 1e6*l.SaveSec, 1e3*l.NumericSec, 1e3*l.YoungSec, 1e3*l.DalySec, 100*l.WasteAtOpt)
+	}
+	rec := plan.Recommended()
+	every := int(rec.NumericSec/stepComputeSec + 0.5)
+	if every < 1 {
+		every = 1
+	}
+	fmt.Printf("recommended: %s checkpoints every %d steps (at %.0f µs compute/step)\n",
+		rec.Name, every, 1e6*stepComputeSec)
+
+	// Rerun the loop at the recommended cadence.
+	w := mpisim.NewWorld(k, 1, nil)
+	w.Run(func(r *mpisim.Rank) {
+		host := openpmd.Host{Proc: r.Proc, Env: env, Comm: r.Comm}
+		series, err := openpmd.NewSeries(host, "/scratch/checkpoint-auto.bp4", openpmd.AccessCreate, toml)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := newSim(42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := r.Proc.Now()
+		saves := 0
+		for step := 1; step <= 300; step++ {
+			r.Proc.Sleep(stepComputeSec)
+			if err := s.Advance(); err != nil {
+				log.Fatal(err)
+			}
+			if step%every == 0 {
+				if err := saveCheckpoint(series, s); err != nil {
+					log.Fatal(err)
+				}
+				saves++
+			}
+		}
+		series.Close()
+		if tier != nil {
+			tier.WaitDrained(r.Proc)
+		}
+		fmt.Printf("ran 300 steps at the recommended cadence: %d checkpoint(s), %.1f ms virtual time, "+
+			"at most %d step(s) ever at risk\n", saves, 1e3*float64(r.Proc.Now()-t0), every)
+	})
 }
 
 func mustN(s *pic.Sim) int {

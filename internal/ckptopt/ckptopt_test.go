@@ -1,0 +1,246 @@
+package ckptopt_test
+
+import (
+	"math"
+	"testing"
+
+	"picmcio/internal/ckptopt"
+)
+
+// TestYoungHandComputed pins the first-order closed form against
+// hand-computed values.
+func TestYoungHandComputed(t *testing.T) {
+	cases := []struct {
+		save, mtbf, want float64
+	}{
+		// √(2·2·10000) = √40000
+		{2, 10000, 200},
+		// √(2·0.5·1800) = √1800
+		{0.5, 1800, 42.42640687119285},
+		// √(2·30·3.6e6): a 30 s checkpoint against a 1000 h MTBF
+		{30, 3.6e6, 14696.938456699068},
+	}
+	for _, c := range cases {
+		if got := ckptopt.Young(c.save, c.mtbf); math.Abs(got-c.want) > 1e-9*c.want {
+			t.Errorf("Young(%v, %v) = %v, want %v", c.save, c.mtbf, got, c.want)
+		}
+	}
+}
+
+// TestDalyHandComputed pins the higher-order form: for δ=2, M=10⁴,
+// ξ = √(δ/2M) = 0.01 and τ* = 200·(1 + 0.01/3 + 0.0001/9) − 2.
+func TestDalyHandComputed(t *testing.T) {
+	want := 200*(1+0.01/3+0.0001/9) - 2 // 198.66888888…
+	if got := ckptopt.Daly(2, 10000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Daly(2, 10000) = %v, want %v", got, want)
+	}
+	// Daly sits below Young (the −δ correction dominates at small δ/M).
+	if y := ckptopt.Young(2, 10000); !(ckptopt.Daly(2, 10000) < y) {
+		t.Errorf("Daly %v not below Young %v", ckptopt.Daly(2, 10000), y)
+	}
+	// Past δ = 2M the form saturates at the failure scale itself.
+	if got := ckptopt.Daly(10, 5); got != 5 {
+		t.Errorf("Daly(10, 5) = %v, want the MTBF 5", got)
+	}
+	if got := ckptopt.Daly(7, 3.5); got != 3.5 {
+		t.Errorf("Daly(7, 3.5) = %v, want 3.5", got)
+	}
+}
+
+// TestDegenerateInputs: zero/negative/NaN/Inf inputs return explicit
+// zeros from the closed forms and errors from Optimize — nothing leaks
+// NaN into a campaign.
+func TestDegenerateInputs(t *testing.T) {
+	for _, f := range []func(a, b float64) float64{ckptopt.Young, ckptopt.Daly} {
+		for _, c := range [][2]float64{
+			{0, 100}, {-1, 100}, {2, 0}, {2, -5},
+			{math.NaN(), 100}, {2, math.NaN()}, {math.Inf(1), 100}, {2, math.Inf(1)},
+		} {
+			if got := f(c[0], c[1]); got != 0 {
+				t.Errorf("closed form(%v, %v) = %v, want 0", c[0], c[1], got)
+			}
+		}
+	}
+	if got := ckptopt.OptimalNumeric(0, 1, 100); got != 0 {
+		t.Errorf("OptimalNumeric with zero save = %v, want 0", got)
+	}
+	if got := ckptopt.Waste(0, 1, 1, 100); got != 1 {
+		t.Errorf("Waste at zero interval = %v, want 1", got)
+	}
+
+	bad := []ckptopt.Costs{
+		{MTBFSec: 0, DurableSaveSec: 1},                                   // zero MTBF
+		{MTBFSec: math.Inf(1), DurableSaveSec: 1},                         // infinite MTBF
+		{MTBFSec: 100, DurableSaveSec: 0},                                 // free checkpoints
+		{MTBFSec: 100, DurableSaveSec: 1, SurvivalProb: 1.5},              // probability > 1
+		{MTBFSec: 100, DurableSaveSec: 1, BufferedSaveSec: -1},            // negative save
+		{MTBFSec: 100, DurableSaveSec: 1, DurableLagSec: math.Inf(1)},     // infinite lag
+		{MTBFSec: 100, DurableSaveSec: 1, BufferedRestartSec: math.NaN()}, // NaN restart
+		{MTBFSec: math.NaN(), DurableSaveSec: 1, BufferedSaveSec: 0.5},    // NaN MTBF
+		{MTBFSec: 100, DurableSaveSec: 1, DurableRestartSec: -3},          // negative restart
+		{MTBFSec: 100, DurableSaveSec: math.Inf(1), BufferedSaveSec: 1},   // infinite save
+		{MTBFSec: 100, DurableSaveSec: 1, SurvivalProb: math.NaN()},       // NaN probability
+		{MTBFSec: 100, DurableSaveSec: 1, BufferedSaveSec: math.Inf(1)},   // infinite buffered
+	}
+	for _, c := range bad {
+		if _, err := ckptopt.Optimize(c); err == nil {
+			t.Errorf("Optimize(%+v) accepted degenerate costs", c)
+		}
+	}
+}
+
+// TestRestartLargerThanMTBF: a restart cost exceeding the MTBF is a
+// legitimate (grim) regime, not an error — the machine fails faster
+// than it reboots, waste saturates near 1, and the recommendation stays
+// finite and positive.
+func TestRestartLargerThanMTBF(t *testing.T) {
+	p, err := ckptopt.Optimize(ckptopt.Costs{
+		MTBFSec:           100,
+		DurableSaveSec:    10,
+		DurableRestartSec: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.PFS
+	if !(l.NumericSec > 0) || math.IsInf(l.NumericSec, 0) {
+		t.Fatalf("numeric optimum %v not positive finite", l.NumericSec)
+	}
+	if l.NumericSec >= l.MTBFSec {
+		t.Errorf("numeric optimum %v should sit below the MTBF %v", l.NumericSec, l.MTBFSec)
+	}
+	if !(l.WasteAtOpt > 0.9 && l.WasteAtOpt < 1) {
+		t.Errorf("waste %v should saturate near 1 when restart > MTBF", l.WasteAtOpt)
+	}
+}
+
+// TestClosedFormVsNumeric: across the practical δ/M range the numeric
+// minimizer of the exact model agrees with Daly's closed form within
+// tolerance (tight at small ratios, loosening as the expansion's
+// assumptions fray), and Young stays in the same neighbourhood.
+func TestClosedFormVsNumeric(t *testing.T) {
+	cases := []struct {
+		save, mtbf, tol float64
+	}{
+		{0.02, 9e8, 0.01}, // measured staged save vs a 500k-node-hour MTBF
+		{2, 1e4, 0.01},    // δ/M = 2·10⁻⁴
+		{30, 3.6e6, 0.01}, // 30 s checkpoint, 1000 h MTBF
+		{10, 1e4, 0.02},   // δ/M = 10⁻³
+		{100, 1e4, 0.05},  // δ/M = 10⁻², expansion strain shows
+	}
+	for _, c := range cases {
+		num := ckptopt.OptimalNumeric(c.save, 0, c.mtbf)
+		daly := ckptopt.Daly(c.save, c.mtbf)
+		if rel := math.Abs(num-daly) / num; rel > c.tol {
+			t.Errorf("δ=%v M=%v: numeric %v vs Daly %v diverge by %.3f (tol %.3f)",
+				c.save, c.mtbf, num, daly, rel, c.tol)
+		}
+		young := ckptopt.Young(c.save, c.mtbf)
+		if rel := math.Abs(num-young) / num; rel > 3*c.tol {
+			t.Errorf("δ=%v M=%v: numeric %v vs Young %v diverge by %.3f",
+				c.save, c.mtbf, num, young, rel)
+		}
+		// The numeric point is a genuine minimum of the waste curve.
+		w := ckptopt.Waste(num, c.save, 0, c.mtbf)
+		for _, x := range []float64{0.5, 0.8, 1.25, 2} {
+			if wx := ckptopt.Waste(x*num, c.save, 0, c.mtbf); wx < w-1e-12 {
+				t.Errorf("δ=%v M=%v: waste at %gτ* (%v) below waste at τ* (%v)", c.save, c.mtbf, x, wx, w)
+			}
+		}
+		// The restart multiplier scales waste but never moves the argmin
+		// in the exact segment model.
+		numR := ckptopt.OptimalNumeric(c.save, c.mtbf/2, c.mtbf)
+		if rel := math.Abs(num-numR) / num; rel > 1e-6 {
+			t.Errorf("δ=%v M=%v: restart cost moved the numeric optimum by %.2g", c.save, c.mtbf, rel)
+		}
+	}
+}
+
+// TestTwoLevelPlan exercises the survival weighting: the buffered
+// level's restart penalty interpolates between the redrain path (s=1)
+// and the durable-fallback path (s=0), the survival-weighted Young
+// interval diverges (reported as 0) at s=0, and the buffered level is
+// recommended whenever buffered saves are cheaper.
+func TestTwoLevelPlan(t *testing.T) {
+	base := ckptopt.Costs{
+		MTBFSec:            9e8, // 500k node-hours over 2 nodes
+		BufferedSaveSec:    0.02,
+		DurableSaveSec:     0.08,
+		BufferedRestartSec: 120,
+		DurableRestartSec:  180,
+		DurableLagSec:      0.5,
+	}
+
+	surviving := base
+	surviving.SurvivalProb = 1
+	p1, err := ckptopt.Optimize(surviving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Buffered == nil {
+		t.Fatal("staging costs produced no buffered level")
+	}
+	if got := p1.Buffered.RestartSec; got != base.BufferedRestartSec {
+		t.Errorf("s=1 restart penalty %v, want the pure redrain path %v", got, base.BufferedRestartSec)
+	}
+	if want := ckptopt.Young(base.BufferedSaveSec, base.MTBFSec); math.Abs(p1.SurvivalYoungSec-want) > 1e-9*want {
+		t.Errorf("s=1 survival-weighted Young %v, want plain Young %v", p1.SurvivalYoungSec, want)
+	}
+
+	dying := base
+	dying.SurvivalProb = 0
+	p0, err := ckptopt.Optimize(dying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.DurableRestartSec + base.DurableLagSec; p0.Buffered.RestartSec != want {
+		t.Errorf("s=0 restart penalty %v, want durable fallback %v", p0.Buffered.RestartSec, want)
+	}
+	if p0.SurvivalYoungSec != 0 {
+		t.Errorf("s=0 survival-weighted Young %v, want 0 (diverged)", p0.SurvivalYoungSec)
+	}
+
+	half := base
+	half.SurvivalProb = 0.5
+	ph, err := ckptopt.Optimize(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ckptopt.Young(base.BufferedSaveSec, 2*base.MTBFSec); math.Abs(ph.SurvivalYoungSec-want) > 1e-9*want {
+		t.Errorf("s=0.5 survival-weighted Young %v, want √2-scaled %v", ph.SurvivalYoungSec, want)
+	}
+
+	// Cheaper buffered saves ⇒ shorter optimal interval, lower waste,
+	// and the recommendation picks the buffered level.
+	for _, p := range []ckptopt.Plan{p1, p0, ph} {
+		if !(p.Buffered.NumericSec < p.PFS.NumericSec) {
+			t.Errorf("buffered optimum %v not shorter than PFS %v", p.Buffered.NumericSec, p.PFS.NumericSec)
+		}
+		if got := p.Recommended().Name; got != "buffered" {
+			t.Errorf("recommended level %q, want buffered", got)
+		}
+		if p.IntervalSec() != p.Buffered.NumericSec {
+			t.Errorf("IntervalSec %v != buffered optimum %v", p.IntervalSec(), p.Buffered.NumericSec)
+		}
+		if got := len(p.Levels()); got != 2 {
+			t.Errorf("Levels() returned %d levels, want 2", got)
+		}
+	}
+
+	// Without staging costs the plan is single-level.
+	direct := base
+	direct.BufferedSaveSec = 0
+	pd, err := ckptopt.Optimize(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Buffered != nil || pd.SurvivalYoungSec != 0 {
+		t.Error("direct-only costs grew a buffered level")
+	}
+	if got := pd.Recommended().Name; got != "pfs" {
+		t.Errorf("recommended level %q, want pfs", got)
+	}
+	if got := len(pd.Levels()); got != 1 {
+		t.Errorf("Levels() returned %d levels, want 1", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"picmcio/internal/burst"
 	"picmcio/internal/cephfs"
+	"picmcio/internal/ckptopt"
 	"picmcio/internal/fault"
 	"picmcio/internal/lustre"
 	"picmcio/internal/nfs"
@@ -115,6 +116,27 @@ func (m Machine) FaultSpec(killEpoch int, killFrac float64, node int) *fault.Spe
 		Node:         node,
 		Survival:     m.NVMeSurvival,
 		RestartDelay: sim.Duration(m.NodeRestartSec),
+	}
+}
+
+// CheckpointCosts derives the availability-side inputs of the
+// checkpoint-interval optimizer from the preset's knobs, for a job of
+// the given node count: the job-level MTBF (any of the job's nodes
+// failing forces a restart, so the per-node MTBF divides by the node
+// count), the NVMe survival probability, and the reboot/reschedule
+// delay as the base of both restart paths. The measured fields —
+// per-level save costs, drain lag — stay zero here;
+// jobs.MeasureCheckpointCosts fills them from probe runs through the
+// staging tier rather than hand-fed constants.
+func (m Machine) CheckpointCosts(nodes int) ckptopt.Costs {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return ckptopt.Costs{
+		MTBFSec:            m.MTBFNodeHours * 3600 / float64(nodes),
+		SurvivalProb:       m.NVMeSurvival.Prob(),
+		BufferedRestartSec: m.NodeRestartSec,
+		DurableRestartSec:  m.NodeRestartSec,
 	}
 }
 

@@ -211,3 +211,36 @@ func TestSizingRanges(t *testing.T) {
 		t.Error("Discoverer has no burst tier to size")
 	}
 }
+
+// TestCheckpointCosts pins the availability-derived optimizer inputs:
+// job-level MTBF scales inversely with node count, the survival
+// probability mirrors the NVMe survivability model, and the reschedule
+// delay seeds both restart paths while the measured fields stay zero.
+func TestCheckpointCosts(t *testing.T) {
+	m := Dardel()
+	c := m.CheckpointCosts(4)
+	if want := m.MTBFNodeHours * 3600 / 4; c.MTBFSec != want {
+		t.Errorf("4-node MTBF %v, want %v", c.MTBFSec, want)
+	}
+	if c.SurvivalProb != 0 {
+		t.Errorf("Dardel survival probability %v, want 0 (on-board NVMe)", c.SurvivalProb)
+	}
+	if c.BufferedRestartSec != m.NodeRestartSec || c.DurableRestartSec != m.NodeRestartSec {
+		t.Errorf("restart bases (%v, %v), want the preset delay %v",
+			c.BufferedRestartSec, c.DurableRestartSec, m.NodeRestartSec)
+	}
+	if c.BufferedSaveSec != 0 || c.DurableSaveSec != 0 || c.DurableLagSec != 0 {
+		t.Error("measured fields must stay zero until a probe fills them")
+	}
+	if got := Vega().CheckpointCosts(1).SurvivalProb; got != 1 {
+		t.Errorf("Vega survival probability %v, want 1 (fabric-attached)", got)
+	}
+	// A degenerate node count falls back to one node rather than
+	// dividing by zero.
+	if got := m.CheckpointCosts(0).MTBFSec; got != m.MTBFNodeHours*3600 {
+		t.Errorf("0-node MTBF %v, want the single-node value", got)
+	}
+	if fault.SurviveNone.Prob() != 0 || fault.SurviveNVMe.Prob() != 1 {
+		t.Error("survivability probabilities must be the enum endpoints")
+	}
+}

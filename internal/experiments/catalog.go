@@ -195,7 +195,21 @@ var catalog = []Artifact{
 		}
 		return Output{Text: renderSizing(st), Table: &st}, nil
 	}},
-	{"campfail", "stochastic MTBF failure campaign: expected lost node-hours per policy/QoS", func(o Options, _ int) (Output, error) {
+	{"figinterval", "expected checkpoint waste vs epoch length, Young/Daly optima on measured costs", func(o Options, _ int) (Output, error) {
+		st, err := o.FigIntervalSweep()
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Text: renderInterval(st), Table: &st}, nil
+	}},
+	{"campfail", "stochastic MTBF failure campaign: expected lost node-hours per policy/QoS (-optimal: validate the ckptopt interval)", func(o Options, _ int) (Output, error) {
+		if o.CampaignOptimal {
+			st, err := o.CampaignOptimum()
+			if err != nil {
+				return Output{}, err
+			}
+			return Output{Text: renderOptimal(st), Table: &st}, nil
+		}
 		st, err := o.CampaignFailure()
 		if err != nil {
 			return Output{}, err

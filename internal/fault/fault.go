@@ -61,6 +61,18 @@ func (s Survivability) String() string {
 	return fmt.Sprintf("Survivability(%d)", int(s))
 }
 
+// Prob is the survivability model as a probability that staged state
+// outlives a node failure — the weight the checkpoint-interval
+// optimizer (internal/ckptopt) applies to the buffered restart path.
+// The enum models the two physical designs exactly, so the
+// probabilities are the endpoints; a mixed fleet would interpolate.
+func (s Survivability) Prob() float64 {
+	if s == SurviveNVMe {
+		return 1
+	}
+	return 0
+}
+
 // ParseSurvivability maps a configuration string to a Survivability.
 func ParseSurvivability(s string) (Survivability, error) {
 	switch s {

@@ -119,10 +119,15 @@ func WithFault(specs []Spec, jobIdx int, f *fault.Spec) []Spec {
 // LostNodeHours converts the job's failure report into lost production
 // node-hours, given what one simulated epoch stands for in production
 // hours and the real reschedule delay in hours: the epochs the restart
-// re-executes on each restarting node, plus the time those nodes sat in
-// reboot/reschedule. A job that ran clean lost nothing. This is the
-// quantity a stochastic failure campaign accumulates — expected lost
-// node-hours per run — instead of a single kill's epoch count.
+// re-executes on each restarting node — including the kill epoch's
+// partially computed phase (KillFrac of an epoch), which every restart
+// redoes but the whole-epoch Report fields deliberately exclude — plus
+// the time those nodes sat in reboot/reschedule. A job that ran clean
+// lost nothing. This is the quantity a stochastic failure campaign
+// accumulates — expected lost node-hours per run — instead of a single
+// kill's epoch count; without the partial-phase term a buffered restart
+// (zero whole epochs lost) would look free and the campaign's waste
+// curve would reward arbitrarily long checkpoint intervals.
 func (r Result) LostNodeHours(epochHours, restartHours float64) float64 {
 	if r.Fault == nil {
 		return 0
@@ -131,11 +136,11 @@ func (r Result) LostNodeHours(epochHours, restartHours float64) float64 {
 	if r.Fault.Spec.WholeJob {
 		victims = r.Nodes
 	}
-	lost := r.Fault.Spec.KillEpoch + 1 - r.Fault.RestartEpoch
+	lost := float64(r.Fault.Spec.KillEpoch+1-r.Fault.RestartEpoch) + r.Fault.Spec.KillFrac
 	if lost < 0 {
 		lost = 0
 	}
-	return float64(victims) * (float64(lost)*epochHours + restartHours)
+	return float64(victims) * (lost*epochHours + restartHours)
 }
 
 // FairShareBps is the bandwidth the fairness index weighs for this job:
