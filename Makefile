@@ -36,10 +36,13 @@ bench:
 	$(GO) test -bench 'BenchmarkInterval$$' -benchtime=1x -run '^$$' . > BENCH_interval.txt
 	cat BENCH_interval.txt
 	$(GO) run ./cmd/benchjson -o BENCH_interval.json < BENCH_interval.txt
+	$(GO) test -bench 'BenchmarkSched$$' -benchtime=1x -run '^$$' . > BENCH_sched.txt
+	cat BENCH_sched.txt
+	$(GO) run ./cmd/benchjson -o BENCH_sched.json < BENCH_sched.txt
 
 # BENCH_BASELINES lists the committed regression baselines the compare
 # gate runs against, by stem.
-BENCH_BASELINES := BENCH_contention BENCH_fault BENCH_sweep BENCH_interval
+BENCH_BASELINES := BENCH_contention BENCH_fault BENCH_sweep BENCH_interval BENCH_sched
 
 # bench-compare is the regression gate: fresh results must stay within
 # 25% of the committed baselines (bench/*.json) on every throughput
@@ -73,6 +76,7 @@ smoke:
 	$(GO) run ./examples/checkpoint-restart -burst -kill
 	$(GO) run ./examples/checkpoint-restart -burst -auto-interval
 	$(GO) run ./examples/multi-job
+	$(GO) run ./examples/schedtrace
 
 # sweep-smoke runs the sweep-native artifacts at tiny scale and writes
 # their machine-readable JSON; CI archives the outputs. The -optimal
@@ -84,8 +88,11 @@ sweep-smoke:
 	$(GO) run ./cmd/experiments -json -parallel 4 figsizing > figsizing.json
 	$(GO) run ./cmd/experiments -json -parallel 4 -campaign-runs 1500 -campaign-mtbf 500 campfail > campfail.json
 	$(GO) run ./cmd/experiments -json -parallel 4 figinterval > figinterval.json
+	$(GO) run ./cmd/experiments -parallel 4 figsched
+	$(GO) run ./cmd/experiments -json -parallel 4 figsched > figsched.json
 
 clean:
 	rm -f BENCH_contention.json BENCH_contention.txt BENCH_fault.json BENCH_fault.txt
 	rm -f BENCH_sweep.json BENCH_sweep.txt BENCH_interval.json BENCH_interval.txt
-	rm -f figsizing.json campfail.json figinterval.json
+	rm -f BENCH_sched.json BENCH_sched.txt
+	rm -f figsizing.json campfail.json figinterval.json figsched.json

@@ -11,12 +11,15 @@ package picmcio
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"picmcio/internal/bit1"
 	"picmcio/internal/cluster"
 	"picmcio/internal/experiments"
+	"picmcio/internal/sched"
 )
 
 // metricName turns a series label into a legal benchmark metric name.
@@ -467,5 +470,84 @@ func BenchmarkSweep(b *testing.B) {
 		}
 		b.ReportMetric(lost["immediate"], "campaign_lost_nh_immediate")
 		b.ReportMetric(lost["watermark"], "campaign_lost_nh_watermark")
+	}
+}
+
+// BenchmarkSched measures the batch-scheduler subsystem under a deep
+// backlog: ~1300 jobs offered at 8× the partition's capacity, so the
+// wait queue builds past 1000 entries and EASY backfill's per-decision
+// work (priority sort + shadow-time reservation) runs at its worst
+// realistic depth. The gated throughput metric is the simulated
+// delivered write bandwidth (workload bytes over makespan) — it drops
+// if the scheduler or the contention model regresses into longer
+// schedules. The wall-clock admission rate is a context metric only
+// (host-speed dependent, so it must not gate).
+func BenchmarkSched(b *testing.B) {
+	m := cluster.Dardel()
+	pr := sched.NewPricer(m, 1, 6)
+	const partition = 64
+	s := sched.Synth{Tenants: 8, Users: 4, Seed: 1}
+	mean, err := sched.SubmitMeanForLoad(pr, m, s, 8, partition)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SubmitMeanHours = mean
+	s.SpanHours = 1300 * mean / float64(8*4) // expect ~1300 submissions
+	stream, err := sched.Synthesize(m, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sched.Config{Machine: m, Nodes: partition, Seed: 1, Pricer: pr}
+	// Nominal workload volume each job writes (checkpoints + diagnostics
+	// across all epochs and nodes): deterministic, so delivered bandwidth
+	// is a pure function of the schedule the run produces.
+	var totalBytes float64
+	for _, j := range stream {
+		wl := j.Spec.Workload
+		totalBytes += float64(wl.Epochs) * float64(wl.CheckpointBytes+wl.DiagBytes) * float64(j.Nodes)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := sched.Run(cfg, sched.EASY{}, stream)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start).Seconds()
+		// Reconstruct the backlog depth the run actually saw: +1 per
+		// submission, -1 per start, max prefix over time order.
+		type ev struct {
+			at    float64
+			delta int
+		}
+		evs := make([]ev, 0, 2*len(res.Jobs))
+		for _, j := range res.Jobs {
+			evs = append(evs, ev{j.SubmitHours, +1}, ev{j.StartHours, -1})
+		}
+		depth, maxDepth := 0, 0
+		// Starts at the same instant as submissions drain first (a start
+		// can only follow its own submission).
+		sort.Slice(evs, func(a, b2 int) bool {
+			if evs[a].at != evs[b2].at {
+				return evs[a].at < evs[b2].at
+			}
+			return evs[a].delta < evs[b2].delta
+		})
+		for _, e := range evs {
+			depth += e.delta
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		if maxDepth < 1000 {
+			b.Fatalf("backlog peaked at %d jobs, benchmark requires >= 1000", maxDepth)
+		}
+		if len(res.Jobs) != len(stream) {
+			b.Fatalf("scheduled %d of %d jobs", len(res.Jobs), len(stream))
+		}
+		b.ReportMetric(float64(len(res.Jobs))/elapsed, "admitted_jobs_per_s")
+		b.ReportMetric(float64(maxDepth), "peak_queue_depth")
+		b.ReportMetric(res.Utilization(), "utilization")
+		b.ReportMetric(totalBytes/(res.Makespan*3600)/(1<<20), "delivered_MiBps")
 	}
 }

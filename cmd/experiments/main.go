@@ -39,6 +39,7 @@ func main() {
 	campaignRuns := flag.Int("campaign-runs", 0, "campfail Monte-Carlo draws per cell (0 = auto-size to the expected-failure target)")
 	campaignMTBF := flag.Float64("campaign-mtbf", 0, "campfail/figinterval per-node MTBF override in hours (0 = machine preset)")
 	optimal := flag.Bool("optimal", false, "campfail validation mode: run at the ckptopt-recommended interval vs fixed baselines")
+	schedJobs := flag.Int("sched-jobs", 0, "figsched expected jobs per campaign cell (0 = default 240)")
 	flag.Parse()
 	if *list {
 		for _, a := range experiments.Catalog() {
@@ -71,6 +72,7 @@ func main() {
 		CampaignRuns:      *campaignRuns,
 		CampaignMTBFHours: *campaignMTBF,
 		CampaignOptimal:   *optimal,
+		SchedJobs:         *schedJobs,
 	}
 	if *nodeList != "" {
 		for _, part := range strings.Split(*nodeList, ",") {

@@ -244,3 +244,168 @@ func TestCheckpointCosts(t *testing.T) {
 		t.Error("survivability probabilities must be the enum endpoints")
 	}
 }
+
+// TestLeaseChurnMatrix is the scheduler-grade lease matrix: the batch
+// scheduler (internal/sched) allocates and frees node sets millions of
+// times per campaign, so exhaustion, double-free and interleaved
+// release patterns must all behave — one node handed to two jobs would
+// silently corrupt every queue metric downstream.
+func TestLeaseChurnMatrix(t *testing.T) {
+	build := func(nodes int) *System {
+		sys, err := Dardel().Build(sim.NewKernel(), nodes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	t.Run("exhaustion-and-refill", func(t *testing.T) {
+		sys := build(8)
+		a, err := sys.Allocate(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Allocate(4); err == nil {
+			t.Fatal("over-allocation past the free count must fail")
+		}
+		// A failed Allocate must not leak nodes.
+		if got := sys.FreeNodes(); got != 3 {
+			t.Fatalf("free after failed allocate = %d, want 3", got)
+		}
+		if err := sys.Free(a); err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.FreeNodes(); got != 8 {
+			t.Fatalf("free after release = %d, want 8", got)
+		}
+		// The whole machine is allocatable again after the release.
+		if _, err := sys.Allocate(8); err != nil {
+			t.Fatalf("full re-allocation after release: %v", err)
+		}
+	})
+
+	t.Run("double-free", func(t *testing.T) {
+		sys := build(4)
+		a, err := sys.Allocate(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Free(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Free(a); err == nil {
+			t.Fatal("double free must be rejected")
+		}
+		// Free of a stale lease whose nodes were re-issued must fail too.
+		b, err := sys.Allocate(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Free(a); err == nil {
+			t.Fatal("free of a superseded lease must be rejected")
+		}
+		if err := sys.Free(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Free(nil); err == nil {
+			t.Fatal("nil free must be rejected")
+		}
+		other := build(4)
+		c, err := other.Allocate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Free(c); err == nil {
+			t.Fatal("free of another system's allocation must be rejected")
+		}
+	})
+
+	t.Run("interleaved-reuse", func(t *testing.T) {
+		sys := build(10)
+		a, _ := sys.Allocate(3) // nodes 0-2
+		b, _ := sys.Allocate(4) // nodes 3-6
+		c, _ := sys.Allocate(3) // nodes 7-9
+		if err := sys.Free(b); err != nil {
+			t.Fatal(err)
+		}
+		// The next lease reuses b's released nodes before any fresh ones.
+		d, err := sys.Allocate(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NodeIDs[0] != 3 || d.NodeIDs[1] != 4 {
+			t.Fatalf("reuse lease nodes %v, want [3 4]", d.NodeIDs)
+		}
+		if err := sys.Free(a); err != nil {
+			t.Fatal(err)
+		}
+		// A lease spanning scattered released nodes: 0-2 from a, 5-6 from
+		// b's remainder. NodeIDs stay ascending and clients alias the
+		// system's per-node clients at the matching global indices.
+		e, err := sys.Allocate(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{0, 1, 2, 5, 6}
+		for i, id := range e.NodeIDs {
+			if id != want[i] {
+				t.Fatalf("scattered lease nodes %v, want %v", e.NodeIDs, want)
+			}
+			if e.Clients[i] != sys.Clients[id] {
+				t.Fatalf("client %d does not alias system client for node %d", i, id)
+			}
+		}
+		if sys.FreeNodes() != 0 {
+			t.Fatalf("free nodes = %d, want 0", sys.FreeNodes())
+		}
+		// No node is leased twice across the live allocations.
+		seen := map[int]bool{}
+		for _, al := range []*Allocation{c, d, e} {
+			for _, id := range al.NodeIDs {
+				if seen[id] {
+					t.Fatalf("node %d leased twice", id)
+				}
+				seen[id] = true
+			}
+		}
+	})
+
+	t.Run("heavy-churn-conserves-nodes", func(t *testing.T) {
+		// A scheduler-shaped workload: a rolling window of live leases of
+		// mixed widths, freed oldest-first, for thousands of cycles. The
+		// free count must be exact at every step and the machine fully
+		// reusable at the end.
+		sys := build(32)
+		var live []*Allocation
+		liveNodes := 0
+		for i := 0; i < 5000; i++ {
+			n := 1 + i%7
+			if n <= sys.FreeNodes() {
+				a, err := sys.Allocate(n)
+				if err != nil {
+					t.Fatalf("cycle %d: %v", i, err)
+				}
+				live = append(live, a)
+				liveNodes += n
+			} else if len(live) > 0 {
+				a := live[0]
+				live = live[1:]
+				if err := sys.Free(a); err != nil {
+					t.Fatalf("cycle %d: %v", i, err)
+				}
+				liveNodes -= a.Nodes
+			}
+			if got := sys.FreeNodes(); got != 32-liveNodes {
+				t.Fatalf("cycle %d: free=%d, want %d", i, got, 32-liveNodes)
+			}
+		}
+		for _, a := range live {
+			if err := sys.Free(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.Allocate(32); err != nil {
+			t.Fatalf("machine not fully reusable after churn: %v", err)
+		}
+	})
+}

@@ -216,6 +216,13 @@ var catalog = []Artifact{
 		}
 		return Output{Text: renderCampaign(st), Table: &st}, nil
 	}},
+	{"figsched", "batch-scheduling campaign: FCFS vs EASY backfill over multi-tenant job streams", func(o Options, _ int) (Output, error) {
+		st, err := o.FigSched()
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Text: renderSched(st), Table: &st}, nil
+	}},
 	{"tab1", "IOR command lines of Table I", func(Options, int) (Output, error) {
 		return Output{Text: Tab1().Render() + "\n"}, nil
 	}},

@@ -76,6 +76,11 @@ type Options struct {
 	// report whether the recommendation's empirical waste wins
 	// (CampaignOptimum).
 	CampaignOptimal bool
+
+	// SchedJobs is the expected job count per figsched campaign cell
+	// (default 240: comfortably past the 200-job bar with Poisson
+	// arrival-count jitter, still sub-second to schedule).
+	SchedJobs int
 }
 
 // WithDefaults fills unset fields with the paper-faithful defaults.
@@ -100,6 +105,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.CampaignEpochHours == 0 {
 		o.CampaignEpochHours = 6
+	}
+	if o.SchedJobs == 0 {
+		o.SchedJobs = 240
 	}
 	return o
 }

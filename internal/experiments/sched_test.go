@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigSchedAcceptance pins the campaign's headline claims at the
+// default scale: every (machine × load) cell schedules a ≥200-job
+// multi-tenant stream, EASY backfill beats FCFS on mean queue wait at
+// equal-or-better utilization in every cell, and the per-tenant Jain
+// fairness index is computed over ≥8 tenants and stays near 1.
+func TestFigSchedAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale scheduling campaign")
+	}
+	o := Options{Seed: 1}
+	st, err := o.FigSched()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		machine string
+		load    float64
+	}
+	cells := map[key]map[string]SchedPoint{}
+	for _, p := range st.Points {
+		pt := p.Extra.(SchedPoint)
+		k := key{pt.Machine, pt.Load}
+		if cells[k] == nil {
+			cells[k] = map[string]SchedPoint{}
+		}
+		cells[k][pt.Policy] = pt
+	}
+	wantCells := len(schedMachines()) * len(schedLoads)
+	if len(cells) != wantCells {
+		t.Fatalf("campaign has %d (machine × load) cells, want %d", len(cells), wantCells)
+	}
+	for k, pols := range cells {
+		f, okF := pols["fcfs"]
+		e, okE := pols["easy-backfill"]
+		if !okF || !okE {
+			t.Fatalf("%v: missing a policy (have %d)", k, len(pols))
+		}
+		if f.Jobs < 200 || e.Jobs < 200 {
+			t.Errorf("%v: only %d/%d jobs, want >= 200 per cell", k, f.Jobs, e.Jobs)
+		}
+		if f.Jobs != e.Jobs {
+			t.Errorf("%v: policies saw different streams (%d vs %d jobs)", k, f.Jobs, e.Jobs)
+		}
+		if e.MeanWaitH >= f.MeanWaitH {
+			t.Errorf("%v: EASY mean wait %.1fh not better than FCFS %.1fh", k, e.MeanWaitH, f.MeanWaitH)
+		}
+		if e.Util < f.Util-1e-9 {
+			t.Errorf("%v: EASY utilization %.4f below FCFS %.4f", k, e.Util, f.Util)
+		}
+		if e.Backfills == 0 {
+			t.Errorf("%v: EASY made no backfills", k)
+		}
+		for _, pt := range []SchedPoint{f, e} {
+			if len(pt.Tenants) < 8 {
+				t.Errorf("%v %s: Jain computed over %d tenants, want >= 8", k, pt.Policy, len(pt.Tenants))
+			}
+			if pt.Jain <= 0.9 || pt.Jain > 1+1e-9 {
+				t.Errorf("%v %s: Jain %.4f outside (0.9, 1]", k, pt.Policy, pt.Jain)
+			}
+		}
+	}
+	// The rendered artifact carries the per-cell delta lines.
+	text := renderSched(st)
+	if !strings.Contains(text, "mean wait") || !strings.Contains(text, "backfills") {
+		t.Fatalf("renderSched missing the delta summary:\n%s", text)
+	}
+}

@@ -301,3 +301,62 @@ func TestArrivals(t *testing.T) {
 		}
 	}
 }
+
+// TestArrivalsSchedulerScale exercises the sampler the way internal/sched
+// reuses it — as a job-submission stream over large populations and long
+// windows — where the failure campaigns never pushed it.
+func TestArrivalsSchedulerScale(t *testing.T) {
+	// Truncation: a population × span holding far more than 2^16 events
+	// must clamp at exactly the documented cap, not allocate unboundedly.
+	// λ = 10 000 nodes × 100 h / 1 h MTBF = 1e6 expected ≫ 65 536.
+	ts := fault.Arrivals(xrand.New(3), 1, 10_000, 100)
+	if len(ts) != 1<<16 {
+		t.Fatalf("oversaturated draw returned %d arrivals, want the 1<<16 cap", len(ts))
+	}
+	last := 0.0
+	for i, x := range ts {
+		if x <= last || x >= 100 {
+			t.Fatalf("arrival %d = %v out of order or span (prev %v)", i, x, last)
+		}
+		last = x
+	}
+
+	// Rate sanity at submission-sampler parameters: 32 users with a mean
+	// gap of 4 h each over 400 h ⇒ λ = 32·400/(4·32)·... i.e. span·users/
+	// meanGapTotal = 400·32/128 = 100 expected submissions.
+	subs := fault.Arrivals(xrand.New(11), 128, 32, 400)
+	if len(subs) < 70 || len(subs) > 130 {
+		t.Fatalf("submission-scale draw = %d arrivals, want ~100", len(subs))
+	}
+
+	// SeedAt-derived streams: the scheduler gives every tenant its own
+	// derived seed. Equal derivations replay identically; sibling indices
+	// must not alias each other's streams.
+	base := uint64(42)
+	s0 := fault.Arrivals(xrand.New(xrand.SeedAt(base, 0)), 128, 32, 400)
+	s0again := fault.Arrivals(xrand.New(xrand.SeedAt(base, 0)), 128, 32, 400)
+	s1 := fault.Arrivals(xrand.New(xrand.SeedAt(base, 1)), 128, 32, 400)
+	if len(s0) == 0 || len(s1) == 0 {
+		t.Fatal("derived streams empty")
+	}
+	if len(s0) != len(s0again) {
+		t.Fatalf("same derived seed diverged: %d vs %d arrivals", len(s0), len(s0again))
+	}
+	for i := range s0 {
+		if s0[i] != s0again[i] {
+			t.Fatalf("same derived seed diverged at %d", i)
+		}
+	}
+	alias := len(s0) == len(s1)
+	if alias {
+		for i := range s0 {
+			if s0[i] != s1[i] {
+				alias = false
+				break
+			}
+		}
+	}
+	if alias {
+		t.Fatal("sibling SeedAt indices produced identical streams")
+	}
+}

@@ -179,15 +179,27 @@ func (c *ContentionResult) MaxSlowdown() float64 {
 
 // JainIndex computes Jain's fairness index (Σx)² / (n·Σx²) over the
 // allocations: 1.0 when all shares are equal, approaching 1/n as one
-// share dominates. It returns 0 for empty or all-zero input.
+// share dominates. Shares are assumed non-negative.
+//
+// Edge cases are pinned explicitly rather than left to 0/0:
+//   - empty input returns 0 — with no allocations there is no fairness
+//     to report, and 0 is an impossible value for any real population
+//     (the index's range is [1/n, 1]), so it cannot be mistaken for a
+//     measurement;
+//   - all-zero input returns 1 — every share is equal (everyone is
+//     equally starved), which is the index's defined value for equal
+//     allocations and what the limit x→0 of equal shares gives.
 func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
 	var sum, sumSq float64
 	for _, x := range xs {
 		sum += x
 		sumSq += x * x
 	}
 	if sumSq == 0 {
-		return 0
+		return 1
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)
 }

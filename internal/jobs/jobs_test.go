@@ -134,17 +134,32 @@ func TestAllocationExhaustionFails(t *testing.T) {
 }
 
 func TestJainIndex(t *testing.T) {
-	if j := jobs.JainIndex(nil); j != 0 {
-		t.Fatalf("empty=%v", j)
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"nil", nil, 0},
+		{"empty non-nil", []float64{}, 0},
+		{"all zero", []float64{0, 0, 0}, 1},
+		{"single zero", []float64{0}, 1},
+		{"single share", []float64{7}, 1},
+		{"equal shares", []float64{5, 5, 5, 5}, 1},
+		{"one taker of four", []float64{1, 0, 0, 0}, 0.25},
+		{"one taker of eight", []float64{3, 0, 0, 0, 0, 0, 0, 0}, 0.125},
+		{"skewed pair", []float64{3, 1}, 16.0 / 20.0},
+		{"scale invariant", []float64{3e9, 1e9}, 16.0 / 20.0},
 	}
-	if j := jobs.JainIndex([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
-		t.Fatalf("equal shares=%v, want 1", j)
+	for _, c := range cases {
+		if got := jobs.JainIndex(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: JainIndex(%v) = %v, want %v", c.name, c.xs, got, c.want)
+		}
 	}
-	if j := jobs.JainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
-		t.Fatalf("one-taker=%v, want 1/4", j)
-	}
-	if j := jobs.JainIndex([]float64{3, 1}); j <= 0.5 || j >= 1 {
-		t.Fatalf("skewed=%v, want in (0.5, 1)", j)
+	// Range invariant at larger n: any mix of non-negative shares lands
+	// in [1/n, 1].
+	mixed := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	if j := jobs.JainIndex(mixed); j < 1.0/8 || j > 1 {
+		t.Errorf("mixed shares: JainIndex = %v outside [1/8, 1]", j)
 	}
 }
 

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FCFS is strict first-come-first-served: jobs start in submission
+// order, and a queue head that does not fit blocks everything behind it
+// — the baseline whose head-of-line blocking EASY backfill exists to
+// remove.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Pick implements Policy: start queue-order jobs while they fit; stop at
+// the first that does not.
+func (FCFS) Pick(v QueueView) []Decision {
+	free := v.Free
+	var ds []Decision
+	for i, p := range v.Queue {
+		if p.Job.Nodes > free {
+			break
+		}
+		ds = append(ds, Decision{QueueIndex: i})
+		free -= p.Job.Nodes
+	}
+	return ds
+}
+
+// EASY is EASY backfill with priority aging. The queue is ordered by an
+// aged priority score; the highest-priority job that does not fit gets
+// the sole reservation (the earliest future instant enough nodes come
+// free), and lower-priority jobs may start ahead of it only if they
+// cannot delay that reservation — either they finish before it, or they
+// use nodes the reservation does not need. With perfect service
+// estimates (the pricer's) the reserved job is never pushed back by a
+// backfill, the property that makes EASY safe to run aggressively.
+//
+// Priority aging keeps the ordering from degenerating into
+// widest-job-starves: small jobs get a head start (they backfill well),
+// but every AgingHours of queue wait cancels one doubling of node count,
+// so a wide job's priority overtakes a stream of fresh narrow ones
+// instead of waiting forever.
+type EASY struct {
+	// AgingHours is the queue wait that outweighs one log2(nodes) of job
+	// width (default 2). Smaller values converge on FCFS ordering faster.
+	AgingHours float64
+}
+
+// Name implements Policy.
+func (p EASY) Name() string { return "easy-backfill" }
+
+func (p EASY) agingHours() float64 {
+	if p.AgingHours <= 0 {
+		return 2
+	}
+	return p.AgingHours
+}
+
+// score is the aged priority: higher runs earlier.
+func (p EASY) score(q Pending) float64 {
+	return q.WaitHours/p.agingHours() - math.Log2(float64(q.Job.Nodes))
+}
+
+// Pick implements Policy.
+func (p EASY) Pick(v QueueView) []Decision {
+	order := make([]int, len(v.Queue))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable sort on descending score: ties resolve in submission order,
+	// keeping the policy deterministic for bit-identical parallel sweeps.
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.score(v.Queue[order[a]]) > p.score(v.Queue[order[b]])
+	})
+
+	free := v.Free
+	var ds []Decision
+	reserved := -1 // order position of the blocked head, -1 while none
+	var shadowHours float64
+	var shadowExtra int // nodes still free at the shadow time after the reservation
+	for _, qi := range order {
+		job := v.Queue[qi].Job
+		if reserved < 0 {
+			if job.Nodes <= free {
+				ds = append(ds, Decision{QueueIndex: qi})
+				free -= job.Nodes
+				continue
+			}
+			// First blocked job: it owns the run's single reservation.
+			reserved = qi
+			shadowHours, shadowExtra = reservation(v, free, ds, job.Nodes)
+			continue
+		}
+		// Backfill candidates behind the reservation: must fit now and
+		// must not delay the reserved start — either by finishing before
+		// the shadow time (borrowing nodes the reservation will reclaim),
+		// or by running on spare nodes the reservation does not need.
+		if job.Nodes > free {
+			continue
+		}
+		endsBy := v.NowHours + v.Queue[qi].ServiceHours
+		if endsBy > shadowHours {
+			if job.Nodes > shadowExtra {
+				continue
+			}
+			shadowExtra -= job.Nodes
+		}
+		ds = append(ds, Decision{QueueIndex: qi, Backfilled: true})
+		free -= job.Nodes
+	}
+	return ds
+}
+
+// reservation computes the blocked head's shadow time — the earliest
+// instant enough nodes are free for it, assuming the decisions already
+// taken start now and running jobs end at their predicted times — and
+// how many nodes remain spare at that instant beyond the head's need.
+func reservation(v QueueView, freeNow int, started []Decision, need int) (shadow float64, extra int) {
+	type release struct {
+		at    float64
+		nodes int
+	}
+	var rels []release
+	for _, a := range v.Running {
+		rels = append(rels, release{a.EndHours, a.Nodes})
+	}
+	// Jobs this Pick already started hold their nodes until now+service.
+	for _, d := range started {
+		q := v.Queue[d.QueueIndex]
+		rels = append(rels, release{v.NowHours + q.ServiceHours, q.Job.Nodes})
+	}
+	sort.Slice(rels, func(a, b int) bool { return rels[a].at < rels[b].at })
+	avail := freeNow
+	for _, r := range rels {
+		avail += r.nodes
+		if avail >= need {
+			return r.at, avail - need
+		}
+	}
+	// Unreachable with a sane partition (the head fits an empty machine);
+	// treat as "never" so no backfill is constrained by it.
+	return math.Inf(1), 0
+}
+
+// Policies returns the named policy (the set the figsched artifact
+// sweeps over).
+func Policies(name string) (Policy, error) {
+	switch name {
+	case "fcfs":
+		return FCFS{}, nil
+	case "easy-backfill", "easy":
+		return EASY{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q", name)
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"fmt"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/jobs"
+)
+
+// Price is one job shape's scheduling-relevant cost summary, measured by
+// running the shape through the full co-schedule machinery on an
+// otherwise idle machine.
+type Price struct {
+	// ServiceHours is the isolated durable-completion time on the
+	// campaign clock: sim seconds scaled by EpochHours per compute phase.
+	ServiceHours float64
+	// DrainBps is the job's PFS write-back demand in simulation
+	// bytes/second (drain bandwidth for staged jobs, client bandwidth for
+	// direct writers) — the numerator of the contention stretch model.
+	DrainBps float64
+	// IOFrac is the fraction of the service time attributable to I/O
+	// rather than compute; only this fraction stretches under contention.
+	IOFrac float64
+}
+
+// Pricer prices job shapes via jobs.Run and memoizes by shape: a queue
+// of thousands of jobs drawn from a handful of size classes costs a
+// handful of simulations, not thousands. The cache key covers every
+// spec field that changes the simulation, so two jobs price identically
+// exactly when their runs would be identical.
+type Pricer struct {
+	m          cluster.Machine
+	seed       uint64
+	epochHours float64
+	cache      map[shapeKey]Price
+}
+
+// shapeKey is the comparable projection of a jobs.Spec (the Classify
+// func is deliberately excluded: stream specs must leave it nil).
+type shapeKey struct {
+	nodes       int
+	wl          jobs.Workload
+	burst       burstKey
+	stripeCount int
+	stripeSize  int64
+}
+
+type burstKey struct {
+	capacity  int64
+	rate      float64
+	perOp     float64
+	drainRate float64
+	policy    burst.Policy
+	highWater float64
+	lowWater  float64
+	qos       burst.QoS
+}
+
+func keyOf(s jobs.Spec) shapeKey {
+	return shapeKey{
+		nodes: s.Nodes,
+		wl:    s.Workload,
+		burst: burstKey{
+			capacity:  s.Burst.CapacityBytes,
+			rate:      s.Burst.Rate,
+			perOp:     float64(s.Burst.PerOp),
+			drainRate: s.Burst.DrainRate,
+			policy:    s.Burst.Policy,
+			highWater: s.Burst.HighWater,
+			lowWater:  s.Burst.LowWater,
+			qos:       s.Burst.QoS,
+		},
+		stripeCount: s.StripeCount,
+		stripeSize:  s.StripeSize,
+	}
+}
+
+// NewPricer builds a pricer for machine m. epochHours anchors the
+// campaign clock (one compute phase = one epoch = epochHours production
+// hours, the convention the failure campaigns use).
+func NewPricer(m cluster.Machine, seed uint64, epochHours float64) *Pricer {
+	if epochHours <= 0 {
+		epochHours = 6
+	}
+	return &Pricer{m: m, seed: seed, epochHours: epochHours, cache: map[shapeKey]Price{}}
+}
+
+// Price returns the shape's cost summary, simulating it on first sight.
+func (p *Pricer) Price(spec jobs.Spec) (Price, error) {
+	if spec.Burst.Classify != nil {
+		return Price{}, fmt.Errorf("sched: job spec %q carries a Classify func (not memoizable)", spec.Name)
+	}
+	k := keyOf(spec)
+	if pr, ok := p.cache[k]; ok {
+		return pr, nil
+	}
+	// Isolated run under a canonical name: the price must depend on the
+	// shape, not on which queued job first exercised it.
+	probe := spec
+	probe.Name = "price"
+	probe.Fault = nil
+	res, err := jobs.Run(p.m, []jobs.Spec{probe}, p.seed)
+	if err != nil {
+		return Price{}, fmt.Errorf("sched: pricing %q: %w", spec.Name, err)
+	}
+	r := res[0]
+	wl := spec.Workload
+	computeSec := float64(wl.Epochs) * float64(wl.ComputeSec)
+	// Clock anchor: one compute phase stands for epochHours production
+	// hours. A pure-I/O shape (no compute) falls back to 1 sim second =
+	// one production hour, so it still gets a nonzero, deterministic
+	// service time.
+	hoursPerSimSec := 1.0
+	if wl.ComputeSec > 0 {
+		hoursPerSimSec = p.epochHours / float64(wl.ComputeSec)
+	}
+	pr := Price{ServiceHours: r.DurableSec * hoursPerSimSec, DrainBps: r.FairShareBps()}
+	if r.DurableSec > 0 && computeSec < r.DurableSec {
+		pr.IOFrac = (r.DurableSec - computeSec) / r.DurableSec
+	}
+	p.cache[k] = pr
+	return pr, nil
+}
+
+// Shapes reports how many distinct shapes have been priced (i.e. how
+// many simulations the memoization has paid for).
+func (p *Pricer) Shapes() int { return len(p.cache) }

@@ -1,0 +1,542 @@
+// Package sched is the trace-driven datacenter batch scheduler: the
+// queue-level layer above internal/jobs, where the ROADMAP's "millions
+// of users" live. A machine partition (cluster.System) serves a stream
+// of job submissions — synthesized from per-tenant user populations via
+// fault.Arrivals-style exponential interarrivals, or replayed from a
+// trace file (see trace.go) — under a pluggable scheduling Policy
+// (FCFS, EASY-backfill with priority aging).
+//
+// The simulator is a discrete-event loop over two event kinds, arrivals
+// and completions, on a clock measured in production hours (the same
+// campaign clock internal/experiments' failure campaigns use). Each
+// admitted job leases its nodes through cluster.System.Allocate and
+// returns them through Free, so the allocator sees exactly the churn a
+// real resource manager produces. A job's isolated service time and
+// parallel-file-system drain demand are priced by actually running its
+// jobs.Spec through jobs.Run on the machine preset (see Pricer) — queued
+// work inherits the full burst/QoS/fault machinery of the lower layers
+// rather than being assigned a made-up runtime.
+//
+// Cross-job PFS contention emerges from the scheduling mix: the running
+// set's aggregate drain demand is compared against the machine's
+// backbone bandwidth, and when oversubscribed every running job's
+// remaining I/O stretches proportionally (a processor-sharing
+// approximation re-evaluated at every queue event). Packing more
+// I/O-heavy jobs side by side therefore slows them all down — the
+// system-wide burst-drain contention the single-co-schedule layer cannot
+// see.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"picmcio/internal/cluster"
+	"picmcio/internal/jobs"
+	"picmcio/internal/sim"
+)
+
+// Job is one queued batch job: submission metadata plus the jobs.Spec
+// the scheduler launches when the job is admitted.
+type Job struct {
+	ID     int
+	Tenant string
+	Class  string // size-class label ("small", "wide", ...)
+	Nodes  int
+	// SubmitHours is the submission time on the campaign clock.
+	SubmitHours float64
+	// Spec is the work itself; Spec.Nodes must equal Nodes.
+	Spec jobs.Spec
+}
+
+// JobResult is one job's scheduling outcome.
+type JobResult struct {
+	Job
+	StartHours   float64
+	EndHours     float64
+	WaitHours    float64 // StartHours - SubmitHours
+	ServiceHours float64 // isolated (uncontended) service time
+	// StretchX is EndHours-StartHours over ServiceHours: > 1 means PFS
+	// contention from the co-running mix slowed the job down.
+	StretchX float64
+	// Backfilled marks a job started ahead of a blocked queue head.
+	Backfilled bool
+}
+
+// Slowdown is the job's bounded slowdown: (wait + actual runtime) over
+// isolated service time, the standard queue-fairness quantity. A job
+// that never waited and ran uncontended scores 1.
+func (r JobResult) Slowdown() float64 {
+	if r.ServiceHours <= 0 {
+		return 1
+	}
+	return (r.WaitHours + r.EndHours - r.StartHours) / r.ServiceHours
+}
+
+// Pending is a queued job as a Policy sees it.
+type Pending struct {
+	Job          *Job
+	WaitHours    float64 // time in queue so far
+	ServiceHours float64 // priced isolated service time (perfect estimate)
+}
+
+// Active is a running job as a Policy sees it: how many nodes it holds
+// and when the simulator currently predicts it will release them.
+type Active struct {
+	Nodes    int
+	EndHours float64
+}
+
+// QueueView is the scheduling state handed to a Policy at each decision
+// point: the current clock, the free-node count, the wait queue in
+// submission order, and the running set with predicted release times.
+type QueueView struct {
+	NowHours float64
+	Free     int
+	Queue    []Pending
+	Running  []Active
+}
+
+// Decision is one job a policy starts now.
+type Decision struct {
+	QueueIndex int // index into QueueView.Queue
+	// Backfilled marks a start that jumped a blocked higher-priority job.
+	Backfilled bool
+}
+
+// Policy picks which queued jobs start at this decision point. It must
+// be deterministic (no wall clock, no shared RNG) — the sweep engine's
+// serial-vs-parallel bit-identity guarantee rests on it. Decisions are
+// applied in order; a decision that exceeds the free nodes remaining
+// after the ones before it is a policy bug and fails the run.
+type Policy interface {
+	Name() string
+	Pick(v QueueView) []Decision
+}
+
+// Config parameterizes a scheduler run.
+type Config struct {
+	Machine cluster.Machine
+	// Nodes is the schedulable partition size (0 = Machine.MaxNodes).
+	Nodes int
+	// EpochHours anchors the campaign clock: one workload epoch's compute
+	// phase stands for this many production hours (default 6, matching
+	// the failure campaigns).
+	EpochHours float64
+	// Seed feeds the pricing runs' storage stochastics.
+	Seed uint64
+	// PFSBandwidth is the shared write-back capacity the contention model
+	// divides among running jobs, bytes/second in simulation terms
+	// (0 = derive from the machine's storage backbone).
+	PFSBandwidth float64
+	// Pricer overrides the service-time pricer (nil = NewPricer on the
+	// config's machine/seed/epoch clock). Sharing one pricer across runs
+	// of the same machine skips re-simulating known job shapes.
+	Pricer *Pricer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = c.Machine.MaxNodes
+	}
+	if c.EpochHours == 0 {
+		c.EpochHours = 6
+	}
+	if c.PFSBandwidth == 0 {
+		c.PFSBandwidth = PFSBandwidth(c.Machine)
+	}
+	return c
+}
+
+// PFSBandwidth is the machine's shared write-back capacity: the storage
+// backbone for Lustre machines, the aggregate server bandwidth
+// otherwise. It is the denominator of the contention stretch model.
+func PFSBandwidth(m cluster.Machine) float64 {
+	switch m.Storage {
+	case cluster.StorageLustre:
+		return m.Lustre.BackboneRate
+	case cluster.StorageNFS:
+		return m.NFS.Rate
+	case cluster.StorageCephFS:
+		return float64(m.Ceph.NumOSDs) * m.Ceph.OSDRate
+	}
+	return m.NICRate
+}
+
+// UtilSample is one step of the machine-utilization timeline: from
+// Hours onward, Busy nodes were leased.
+type UtilSample struct {
+	Hours float64
+	Busy  int
+}
+
+// Result is one scheduler run's outcome.
+type Result struct {
+	Policy    string
+	Nodes     int // partition size
+	Jobs      []JobResult
+	Timeline  []UtilSample // busy-node step function over the run
+	Makespan  float64      // hours until the last job completed
+	LeaseOps  int          // Allocate+Free calls issued against the system
+	Backfills int
+}
+
+// MeanWaitHours is the mean queue wait over all jobs.
+func (r *Result) MeanWaitHours() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range r.Jobs {
+		sum += j.WaitHours
+	}
+	return sum / float64(len(r.Jobs))
+}
+
+// WaitQuantile returns the q-quantile (0..1) of the queue-wait
+// distribution.
+func (r *Result) WaitQuantile(q float64) float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	ws := make([]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		ws[i] = j.WaitHours
+	}
+	sort.Float64s(ws)
+	idx := int(q * float64(len(ws)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ws) {
+		idx = len(ws) - 1
+	}
+	return ws[idx]
+}
+
+// Utilization is the node-hour-weighted machine utilization over the
+// makespan: leased node-hours / (partition × makespan).
+func (r *Result) Utilization() float64 {
+	if r.Makespan <= 0 || r.Nodes == 0 {
+		return 0
+	}
+	busyNH := 0.0
+	for i, s := range r.Timeline {
+		end := r.Makespan
+		if i+1 < len(r.Timeline) {
+			end = r.Timeline[i+1].Hours
+		}
+		if end > s.Hours {
+			busyNH += float64(s.Busy) * (end - s.Hours)
+		}
+	}
+	return busyNH / (float64(r.Nodes) * r.Makespan)
+}
+
+// GroupStats is one tenant's or size class's queue experience.
+type GroupStats struct {
+	Name          string
+	Jobs          int
+	NodeHours     float64 // delivered node-hours (nodes × actual runtime)
+	MeanWaitHours float64
+	MeanSlowdown  float64
+}
+
+// groupBy folds job results into named groups in first-seen order.
+func groupBy(jobsDone []JobResult, key func(JobResult) string) []GroupStats {
+	idx := map[string]int{}
+	var out []GroupStats
+	for _, j := range jobsDone {
+		k := key(j)
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, GroupStats{Name: k})
+		}
+		g := &out[i]
+		g.Jobs++
+		g.NodeHours += float64(j.Nodes) * (j.EndHours - j.StartHours)
+		g.MeanWaitHours += j.WaitHours
+		g.MeanSlowdown += j.Slowdown()
+	}
+	for i := range out {
+		if out[i].Jobs > 0 {
+			out[i].MeanWaitHours /= float64(out[i].Jobs)
+			out[i].MeanSlowdown /= float64(out[i].Jobs)
+		}
+	}
+	return out
+}
+
+// TenantStats groups the run's jobs by tenant.
+func (r *Result) TenantStats() []GroupStats {
+	return groupBy(r.Jobs, func(j JobResult) string { return j.Tenant })
+}
+
+// ClassStats groups the run's jobs by size class.
+func (r *Result) ClassStats() []GroupStats {
+	return groupBy(r.Jobs, func(j JobResult) string { return j.Class })
+}
+
+// JainTenants is Jain's fairness index over the tenants' mean bounded
+// slowdowns, inverted so 1.0 means every tenant experienced the same
+// queue treatment. Computed via jobs.JainIndex at N ≫ 2 — the N-tenant
+// generalization of the two-job fairness the contention figure reports.
+func (r *Result) JainTenants() float64 {
+	ts := r.TenantStats()
+	xs := make([]float64, len(ts))
+	for i, t := range ts {
+		// Fairness over per-tenant service quality: the reciprocal of the
+		// mean slowdown, so an even queue experience scores 1 regardless
+		// of how hard each tenant hammered the machine.
+		if t.MeanSlowdown > 0 {
+			xs[i] = 1 / t.MeanSlowdown
+		}
+	}
+	return jobs.JainIndex(xs)
+}
+
+// running is one admitted job's live state.
+type running struct {
+	job   *Job
+	res   *JobResult
+	alloc *cluster.Allocation
+	// remainingH is service time still owed at nominal (uncontended)
+	// rate; it burns down at 1/slowdown per hour.
+	remainingH float64
+	slowdown   float64
+	drainBps   float64
+	ioFrac     float64
+}
+
+// Run replays the job stream (sorted by SubmitHours; ties broken by ID)
+// through the policy on the config's machine partition.
+func Run(cfg Config, pol Policy, stream []Job) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if pol == nil {
+		return nil, fmt.Errorf("sched: nil policy")
+	}
+	pr := cfg.Pricer
+	if pr == nil {
+		pr = NewPricer(cfg.Machine, cfg.Seed, cfg.EpochHours)
+	}
+	// The lease substrate: a real cluster.System build, so Allocate/Free
+	// churn exercises the allocator the co-schedule layer uses.
+	sys, err := cfg.Machine.Build(sim.NewKernel(), cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	arrivals := make([]*Job, len(stream))
+	seen := map[int]bool{}
+	for i := range stream {
+		j := stream[i]
+		if seen[j.ID] {
+			return nil, fmt.Errorf("sched: duplicate job ID %d in stream", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Nodes < 1 || j.Nodes > cfg.Nodes {
+			return nil, fmt.Errorf("sched: job %d needs %d nodes on a %d-node partition", j.ID, j.Nodes, cfg.Nodes)
+		}
+		if j.Spec.Nodes != j.Nodes {
+			return nil, fmt.Errorf("sched: job %d: spec nodes %d != job nodes %d", j.ID, j.Spec.Nodes, j.Nodes)
+		}
+		arrivals[i] = &j
+	}
+	sort.SliceStable(arrivals, func(a, b int) bool {
+		if arrivals[a].SubmitHours != arrivals[b].SubmitHours {
+			return arrivals[a].SubmitHours < arrivals[b].SubmitHours
+		}
+		return arrivals[a].ID < arrivals[b].ID
+	})
+
+	res := &Result{Policy: pol.Name(), Nodes: cfg.Nodes}
+	var queue []*Job
+	queued := map[int]float64{} // job ID -> submit time (for wait calc)
+	var run []*running
+	now := 0.0
+	busy := 0
+	sample := func() {
+		if n := len(res.Timeline); n > 0 && res.Timeline[n-1].Hours == now {
+			res.Timeline[n-1].Busy = busy
+			return
+		}
+		res.Timeline = append(res.Timeline, UtilSample{Hours: now, Busy: busy})
+	}
+	sample()
+
+	// restretch re-evaluates the processor-sharing contention model over
+	// the running set: aggregate drain demand vs the PFS capacity. Only
+	// each job's I/O fraction stretches — compute phases do not contend.
+	restretch := func() {
+		demand := 0.0
+		for _, rj := range run {
+			demand += rj.drainBps
+		}
+		over := 1.0
+		if cfg.PFSBandwidth > 0 && demand > cfg.PFSBandwidth {
+			over = demand / cfg.PFSBandwidth
+		}
+		for _, rj := range run {
+			rj.slowdown = 1 + rj.ioFrac*(over-1)
+		}
+	}
+	// advance burns dt hours off every running job at its current rate.
+	advance := func(dt float64) {
+		for _, rj := range run {
+			rj.remainingH -= dt / rj.slowdown
+			if rj.remainingH < 0 {
+				rj.remainingH = 0
+			}
+		}
+	}
+	endOf := func(rj *running) float64 { return now + rj.remainingH*rj.slowdown }
+
+	start := func(d Decision) error {
+		if d.QueueIndex < 0 || d.QueueIndex >= len(queue) {
+			return fmt.Errorf("sched: policy %s picked queue index %d of %d", pol.Name(), d.QueueIndex, len(queue))
+		}
+		j := queue[d.QueueIndex]
+		p, err := pr.Price(j.Spec)
+		if err != nil {
+			return err
+		}
+		alloc, err := sys.Allocate(j.Nodes)
+		if err != nil {
+			return fmt.Errorf("sched: policy %s overcommitted: %w", pol.Name(), err)
+		}
+		res.LeaseOps++
+		queue = append(queue[:d.QueueIndex], queue[d.QueueIndex+1:]...)
+		jr := &JobResult{
+			Job:          *j,
+			StartHours:   now,
+			WaitHours:    now - queued[j.ID],
+			ServiceHours: p.ServiceHours,
+			Backfilled:   d.Backfilled,
+		}
+		if d.Backfilled {
+			res.Backfills++
+		}
+		run = append(run, &running{
+			job: j, res: jr, alloc: alloc,
+			remainingH: p.ServiceHours,
+			slowdown:   1,
+			drainBps:   p.DrainBps,
+			ioFrac:     p.IOFrac,
+		})
+		busy += j.Nodes
+		return nil
+	}
+
+	schedule := func() error {
+		for {
+			v := QueueView{NowHours: now, Free: sys.FreeNodes()}
+			for _, j := range queue {
+				p, err := pr.Price(j.Spec)
+				if err != nil {
+					return err
+				}
+				v.Queue = append(v.Queue, Pending{Job: j, WaitHours: now - queued[j.ID], ServiceHours: p.ServiceHours})
+			}
+			for _, rj := range run {
+				v.Running = append(v.Running, Active{Nodes: rj.job.Nodes, EndHours: endOf(rj)})
+			}
+			ds := pol.Pick(v)
+			if len(ds) == 0 {
+				return nil
+			}
+			// Indices reference the view's queue; apply back-to-front so
+			// earlier removals do not shift later picks.
+			sort.Slice(ds, func(a, b int) bool { return ds[a].QueueIndex > ds[b].QueueIndex })
+			for _, d := range ds {
+				if err := start(d); err != nil {
+					return err
+				}
+			}
+			restretch()
+			sample()
+			// Loop: starting jobs changed the view; give the policy another
+			// look (it may have been conservative about a now-free slot).
+			if len(queue) == 0 {
+				return nil
+			}
+		}
+	}
+
+	next := 0 // next arrival index
+	for next < len(arrivals) || len(run) > 0 {
+		// Earliest event: next arrival vs earliest predicted completion.
+		tArr, tEnd := math.Inf(1), math.Inf(1)
+		if next < len(arrivals) {
+			tArr = arrivals[next].SubmitHours
+		}
+		for _, rj := range run {
+			if e := endOf(rj); e < tEnd {
+				tEnd = e
+			}
+		}
+		// Completions at the same instant as an arrival free nodes first,
+		// as a real scheduler's event loop would.
+		if tEnd <= tArr {
+			t := tEnd
+			// Mark completions by predicted end time BEFORE advancing: the
+			// argmin job always qualifies (endOf == tEnd), so every
+			// completion event retires at least one job and the loop makes
+			// progress even when the clock is large enough that float
+			// residue keeps remainingH a hair above zero after advance.
+			// The nano-hour slack merges near-simultaneous finishes into
+			// one deterministic instant.
+			doneNow := make(map[*running]bool, len(run))
+			for _, rj := range run {
+				if endOf(rj) <= t+1e-9 {
+					doneNow[rj] = true
+				}
+			}
+			advance(t - now)
+			now = t
+			// Collect every job finishing at this instant (deterministic
+			// order: position in the running list, i.e. start order).
+			kept := run[:0]
+			for _, rj := range run {
+				if doneNow[rj] {
+					rj.res.EndHours = now
+					actual := rj.res.EndHours - rj.res.StartHours
+					if rj.res.ServiceHours > 0 {
+						rj.res.StretchX = actual / rj.res.ServiceHours
+					}
+					res.Jobs = append(res.Jobs, *rj.res)
+					if err := sys.Free(rj.alloc); err != nil {
+						return nil, err
+					}
+					res.LeaseOps++
+					busy -= rj.job.Nodes
+				} else {
+					kept = append(kept, rj)
+				}
+			}
+			run = kept
+			restretch()
+			sample()
+		} else {
+			advance(tArr - now)
+			now = tArr
+			// Admit every arrival at this instant before scheduling.
+			for next < len(arrivals) && arrivals[next].SubmitHours == now {
+				j := arrivals[next]
+				queue = append(queue, j)
+				queued[j.ID] = now
+				next++
+			}
+		}
+		if err := schedule(); err != nil {
+			return nil, err
+		}
+	}
+	res.Makespan = now
+	// Jobs complete in event order; report them in submission order so
+	// the result is keyed the way the trace was.
+	sort.SliceStable(res.Jobs, func(a, b int) bool { return res.Jobs[a].ID < res.Jobs[b].ID })
+	return res, nil
+}

@@ -1,0 +1,326 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/units"
+)
+
+// view builds a QueueView by hand for direct policy tests.
+func view(free int, queue []Pending, running []Active) QueueView {
+	return QueueView{NowHours: 10, Free: free, Queue: queue, Running: running}
+}
+
+func pend(id, nodes int, waitH, svcH float64) Pending {
+	return Pending{Job: &Job{ID: id, Nodes: nodes}, WaitHours: waitH, ServiceHours: svcH}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	// Queue: 4-node head fits, 8-node second blocks on 6 free, 2-node
+	// third would fit but FCFS must not jump the blocker.
+	v := view(10,
+		[]Pending{pend(1, 4, 1, 5), pend(2, 8, 1, 5), pend(3, 2, 1, 5)},
+		nil)
+	ds := FCFS{}.Pick(v)
+	if len(ds) != 1 || ds[0].QueueIndex != 0 {
+		t.Fatalf("FCFS picked %+v, want only queue index 0", ds)
+	}
+}
+
+func TestEASYBackfillsBehindReservation(t *testing.T) {
+	// 6 free nodes; an 8-node job is blocked until the running 4-node
+	// job releases at t=14 (shadow). A 2-node backfill that finishes by
+	// then (service 3h < 4h) must start; a 2-node job that would overrun
+	// the shadow may still start only on the spare nodes.
+	v := view(6,
+		[]Pending{
+			pend(1, 8, 10, 5), // blocked head (aged hardest: longest wait)
+			pend(2, 2, 1, 3),  // finishes before shadow
+			pend(3, 2, 1, 50), // overruns shadow: needs spare nodes
+			pend(4, 2, 1, 50), // overruns shadow: no spare left after 3
+		},
+		[]Active{{Nodes: 4, EndHours: 14}})
+	ds := EASY{}.Pick(v)
+	// Shadow: at t=14 avail = 6+4 = 10 ≥ 8, spare = 2. Job 2 backfills
+	// (ends 13 ≤ 14); job 3 takes the 2 spare; job 4 must not start.
+	got := map[int]bool{}
+	for _, d := range ds {
+		if !d.Backfilled {
+			t.Fatalf("decision %+v not marked backfilled behind a reservation", d)
+		}
+		got[v.Queue[d.QueueIndex].Job.ID] = true
+	}
+	if !got[2] || !got[3] || got[4] || got[1] {
+		t.Fatalf("EASY backfilled job set %v, want {2,3}", got)
+	}
+}
+
+func TestEASYAgingPrioritizesOldWideJobs(t *testing.T) {
+	// A wide job that has waited long outranks a fresh narrow one:
+	// score(wide) = 20/2 - log2(16) = 6 > score(narrow) = 0/2 - 1 = -1.
+	v := view(16,
+		[]Pending{pend(1, 2, 0, 5), pend(2, 16, 20, 5)},
+		nil)
+	ds := EASY{}.Pick(v)
+	if len(ds) != 1 || v.Queue[ds[0].QueueIndex].Job.ID != 2 {
+		t.Fatalf("EASY started %+v, want only the aged wide job (id 2)", ds)
+	}
+}
+
+func TestPoliciesResolver(t *testing.T) {
+	for _, name := range []string{"fcfs", "easy-backfill", "easy"} {
+		if _, err := Policies(name); err != nil {
+			t.Fatalf("Policies(%q): %v", name, err)
+		}
+	}
+	if _, err := Policies("lottery"); err == nil {
+		t.Fatal("Policies(lottery) = nil error, want failure")
+	}
+}
+
+func TestPFSBandwidthPerStorage(t *testing.T) {
+	for _, m := range cluster.Machines() {
+		if bw := PFSBandwidth(m); bw <= 0 {
+			t.Errorf("%s: PFSBandwidth = %v, want > 0", m.Name, bw)
+		}
+	}
+}
+
+func TestPricerMemoizesShapes(t *testing.T) {
+	m := cluster.Discoverer()
+	pr := NewPricer(m, 42, 6)
+	c := DefaultClasses()[0]
+	p1, err := pr.Price(c.Spec(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job of the same shape (different name) must hit the cache.
+	s2 := c.Spec(m)
+	s2.Name = "other-job"
+	p2, err := pr.Price(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Shapes() != 1 {
+		t.Fatalf("Shapes() = %d after two same-shape prices, want 1", pr.Shapes())
+	}
+	if p1 != p2 {
+		t.Fatalf("same shape priced differently: %+v vs %+v", p1, p2)
+	}
+	if p1.ServiceHours <= 0 || p1.DrainBps <= 0 {
+		t.Fatalf("degenerate price %+v", p1)
+	}
+	if p1.IOFrac < 0 || p1.IOFrac > 1 {
+		t.Fatalf("IOFrac %v outside [0,1]", p1.IOFrac)
+	}
+}
+
+func TestPricerRejectsClassifyFunc(t *testing.T) {
+	m := cluster.Discoverer()
+	pr := NewPricer(m, 1, 6)
+	s := DefaultClasses()[0].Spec(m)
+	s.Burst.Classify = burst.DefaultClassify
+	if _, err := pr.Price(s); err == nil {
+		t.Fatal("spec with Classify func priced without error (cache key cannot cover it)")
+	}
+}
+
+func testStream(t *testing.T, m cluster.Machine, seed uint64) []Job {
+	t.Helper()
+	js, err := Synthesize(m, Synth{
+		Tenants:         8,
+		Users:           3,
+		SubmitMeanHours: 6,
+		SpanHours:       24,
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) < 20 {
+		t.Fatalf("synthesized only %d jobs; test wants a real queue", len(js))
+	}
+	return js
+}
+
+func TestRunCompletesEveryJob(t *testing.T) {
+	m := cluster.Discoverer()
+	cfg := Config{Machine: m, Nodes: 24, Seed: 7}
+	stream := testStream(t, m, 7)
+	res, err := Run(cfg, FCFS{}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != len(stream) {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), len(stream))
+	}
+	if res.LeaseOps != 2*len(stream) {
+		t.Fatalf("LeaseOps = %d, want %d (one Allocate and one Free per job)", res.LeaseOps, 2*len(stream))
+	}
+	for i, j := range res.Jobs {
+		if j.ID != stream[i].ID {
+			t.Fatalf("results not in submission-ID order at %d", i)
+		}
+		if j.StartHours < j.SubmitHours {
+			t.Fatalf("job %d started before submission", j.ID)
+		}
+		if j.EndHours <= j.StartHours {
+			t.Fatalf("job %d has non-positive runtime", j.ID)
+		}
+		if j.StretchX < 1-1e-9 {
+			t.Fatalf("job %d finished faster than its isolated service time (stretch %v)", j.ID, j.StretchX)
+		}
+		if math.Abs(j.WaitHours-(j.StartHours-j.SubmitHours)) > 1e-9 {
+			t.Fatalf("job %d wait inconsistent", j.ID)
+		}
+	}
+	if u := res.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization %v outside (0,1]", u)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if f := res.JainTenants(); f <= 0 || f > 1+1e-9 {
+		t.Fatalf("Jain fairness %v outside (0,1]", f)
+	}
+	if got := len(res.TenantStats()); got != 8 {
+		t.Fatalf("TenantStats has %d tenants, want 8", got)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	m := cluster.Dardel()
+	cfg := Config{Machine: m, Nodes: 24, Seed: 11}
+	stream := testStream(t, m, 11)
+	for _, pol := range []Policy{FCFS{}, EASY{}} {
+		a, err := Run(cfg, pol, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg, pol, stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two identical runs diverged", pol.Name())
+		}
+	}
+}
+
+func TestEASYBeatsFCFSOnMeanWait(t *testing.T) {
+	// Under a queue with 16-node wide jobs mixed into narrow traffic,
+	// EASY backfill must cut mean wait without losing utilization —
+	// the property the figsched artifact reports at campaign scale.
+	m := cluster.Discoverer()
+	cfg := Config{Machine: m, Nodes: 24, Seed: 3}
+	shared := NewPricer(m, cfg.Seed, 6)
+	cfg.Pricer = shared
+	s := Synth{Tenants: 8, Users: 4, SpanHours: 400, Seed: 3}
+	mean, err := SubmitMeanForLoad(shared, m, s, 1.2, cfg.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SubmitMeanHours = mean
+	js, err := Synthesize(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(js) < 50 {
+		t.Fatalf("only %d jobs at load 1.2 over %vh", len(js), s.SpanHours)
+	}
+	fcfs, err := Run(cfg, FCFS{}, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy, err := Run(cfg, EASY{}, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easy.Backfills == 0 {
+		t.Fatal("EASY made no backfills on a congested queue")
+	}
+	if easy.MeanWaitHours() >= fcfs.MeanWaitHours() {
+		t.Fatalf("EASY mean wait %.2fh not better than FCFS %.2fh",
+			easy.MeanWaitHours(), fcfs.MeanWaitHours())
+	}
+	if easy.Utilization() < fcfs.Utilization()-1e-9 {
+		t.Fatalf("EASY utilization %.3f below FCFS %.3f", easy.Utilization(), fcfs.Utilization())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := cluster.Discoverer()
+	cfg := Config{Machine: m, Nodes: 8, Seed: 1}
+	c := DefaultClasses()[0]
+	mk := func(id, nodes int, at float64) Job {
+		s := c.Spec(m)
+		s.Nodes = nodes
+		return Job{ID: id, Tenant: "t", Class: c.Name, Nodes: nodes, SubmitHours: at, Spec: s}
+	}
+	if _, err := Run(cfg, nil, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := Run(cfg, FCFS{}, []Job{mk(1, 2, 0), mk(1, 2, 1)}); err == nil {
+		t.Fatal("duplicate job IDs accepted")
+	}
+	if _, err := Run(cfg, FCFS{}, []Job{mk(1, 9, 0)}); err == nil {
+		t.Fatal("job wider than partition accepted")
+	}
+	bad := mk(1, 2, 0)
+	bad.Spec.Nodes = 4
+	if _, err := Run(cfg, FCFS{}, []Job{bad}); err == nil {
+		t.Fatal("spec/job node mismatch accepted")
+	}
+}
+
+func TestJobResultSlowdown(t *testing.T) {
+	r := JobResult{StartHours: 10, EndHours: 16, WaitHours: 2, ServiceHours: 4}
+	if got, want := r.Slowdown(), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Slowdown = %v, want %v", got, want)
+	}
+	zero := JobResult{}
+	if zero.Slowdown() != 1 {
+		t.Fatalf("zero-service Slowdown = %v, want 1", zero.Slowdown())
+	}
+}
+
+func TestWaitQuantileAndTimeline(t *testing.T) {
+	r := &Result{Nodes: 10, Makespan: 10,
+		Jobs: []JobResult{
+			{WaitHours: 0}, {WaitHours: 1}, {WaitHours: 2}, {WaitHours: 3}, {WaitHours: 40},
+		},
+		Timeline: []UtilSample{{Hours: 0, Busy: 10}, {Hours: 5, Busy: 0}},
+	}
+	if got := r.WaitQuantile(0.5); got != 2 {
+		t.Fatalf("median wait %v, want 2", got)
+	}
+	if got := r.WaitQuantile(1); got != 40 {
+		t.Fatalf("max wait %v, want 40", got)
+	}
+	if got := r.Utilization(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("utilization %v, want 0.5", got)
+	}
+}
+
+func TestDefaultClassesWellFormed(t *testing.T) {
+	m := cluster.Vega()
+	for _, c := range DefaultClasses() {
+		if c.Weight <= 0 || c.Nodes <= 0 {
+			t.Fatalf("class %q degenerate: %+v", c.Name, c)
+		}
+		s := c.Spec(m)
+		if s.Nodes != c.Nodes || s.Workload.CheckpointBytes < 64*units.MiB {
+			t.Fatalf("class %q spec malformed: %+v", c.Name, s)
+		}
+		if c.Direct && s.Burst.CapacityBytes != 0 {
+			t.Fatalf("direct class %q still staging", c.Name)
+		}
+		if !c.Direct && s.Burst.CapacityBytes == 0 {
+			t.Fatalf("staged class %q lost its burst preset", c.Name)
+		}
+	}
+}
