@@ -39,10 +39,13 @@ bench:
 	$(GO) test -bench 'BenchmarkSched$$' -benchtime=1x -run '^$$' . > BENCH_sched.txt
 	cat BENCH_sched.txt
 	$(GO) run ./cmd/benchjson -o BENCH_sched.json < BENCH_sched.txt
+	$(GO) test -bench 'BenchmarkWorkload$$' -benchtime=1x -run '^$$' . > BENCH_workload.txt
+	cat BENCH_workload.txt
+	$(GO) run ./cmd/benchjson -o BENCH_workload.json < BENCH_workload.txt
 
 # BENCH_BASELINES lists the committed regression baselines the compare
 # gate runs against, by stem.
-BENCH_BASELINES := BENCH_contention BENCH_fault BENCH_sweep BENCH_interval BENCH_sched
+BENCH_BASELINES := BENCH_contention BENCH_fault BENCH_sweep BENCH_interval BENCH_sched BENCH_workload
 
 # bench-compare is the regression gate: fresh results must stay within
 # 25% of the committed baselines (bench/*.json) on every throughput
@@ -90,9 +93,11 @@ sweep-smoke:
 	$(GO) run ./cmd/experiments -json -parallel 4 figinterval > figinterval.json
 	$(GO) run ./cmd/experiments -parallel 4 figsched
 	$(GO) run ./cmd/experiments -json -parallel 4 figsched > figsched.json
+	$(GO) run ./cmd/experiments -parallel 4 figworkload
+	$(GO) run ./cmd/experiments -json -parallel 4 figworkload > figworkload.json
 
 clean:
 	rm -f BENCH_contention.json BENCH_contention.txt BENCH_fault.json BENCH_fault.txt
 	rm -f BENCH_sweep.json BENCH_sweep.txt BENCH_interval.json BENCH_interval.txt
-	rm -f BENCH_sched.json BENCH_sched.txt
-	rm -f figsizing.json campfail.json figinterval.json figsched.json
+	rm -f BENCH_sched.json BENCH_sched.txt BENCH_workload.json BENCH_workload.txt
+	rm -f figsizing.json campfail.json figinterval.json figsched.json figworkload.json

@@ -17,9 +17,12 @@ import (
 	"time"
 
 	"picmcio/internal/bit1"
+	"picmcio/internal/burst"
 	"picmcio/internal/cluster"
 	"picmcio/internal/experiments"
+	"picmcio/internal/jobs"
 	"picmcio/internal/sched"
+	"picmcio/internal/units"
 )
 
 // metricName turns a series label into a legal benchmark metric name.
@@ -473,6 +476,78 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkload measures the unified workload interface in a 4-job
+// co-schedule on Dardel: two BIT1-style rank schedules (1 vs 4
+// aggregator groups), a chunked flat writer and a direct neighbour, all
+// contending for the same PFS. The gated throughput metric is the
+// single-aggregator rank job's achieved write-back bandwidth — it drops
+// if the mpisim gather path, the staging tier or the shared-PFS
+// contention model regresses. Funnelling through one writer must not
+// reach durability faster than spreading over four.
+func BenchmarkWorkload(b *testing.B) {
+	m := cluster.Dardel()
+	tier := burst.Spec{
+		CapacityBytes: 2 << 30,
+		Rate:          6e9,
+		PerOp:         25e-6,
+		Policy:        burst.PolicyEpochEnd,
+	}
+	rank := func(aggr int) jobs.RankWorkload {
+		return jobs.RankWorkload{
+			Epochs:                 3,
+			RanksPerNode:           4,
+			Aggregators:            aggr,
+			CheckpointBytesPerRank: 24 * units.MiB,
+			DiagBytesPerRank:       8 * units.MiB,
+			ComputeSec:             0.02,
+			ChunkBytes:             16 * units.MiB,
+		}
+	}
+	flat := jobs.BulkWriter{
+		Epochs:          3,
+		CheckpointBytes: 96 * units.MiB,
+		DiagBytes:       32 * units.MiB,
+		ComputeSec:      0.02,
+	}
+	specs := []jobs.Spec{
+		{Name: "ranks-1agg", Nodes: 4, Burst: tier, Workload: rank(1), StripeCount: -1},
+		{Name: "ranks-4agg", Nodes: 4, Burst: tier, Workload: rank(4), StripeCount: -1},
+		{Name: "chunked", Nodes: 4, Burst: tier, Workload: jobs.ChunkedWriter{
+			Epochs: 3, CheckpointBytes: 96 * units.MiB, DiagBytes: 32 * units.MiB,
+			ComputeSec: 0.02, ChunkBytes: 16 * units.MiB,
+		}, StripeCount: -1},
+		{Name: "direct", Nodes: 4, Workload: flat, StripeCount: -1},
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := jobs.Run(m, specs, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shares := make([]float64, len(res))
+		for j, r := range res {
+			shares[j] = r.FairShareBps()
+			if r.BytesWritten == 0 {
+				b.Fatalf("job %s wrote nothing", r.Name)
+			}
+			if r.Burst != nil && r.Burst.PendingBytes != 0 {
+				b.Fatalf("job %s left %d bytes staged", r.Name, r.Burst.PendingBytes)
+			}
+		}
+		if res[0].BytesWritten != res[1].BytesWritten {
+			b.Fatalf("aggregator count changed logical volume: %d vs %d",
+				res[0].BytesWritten, res[1].BytesWritten)
+		}
+		if res[0].DurableSec < res[1].DurableSec {
+			b.Fatal("one aggregator must not reach durability before four")
+		}
+		b.ReportMetric(res[0].DrainBps/(1<<30), "ranks_1aggr_drain_GiBps")
+		b.ReportMetric(res[1].DrainBps/(1<<30), "ranks_4aggr_drain_GiBps")
+		b.ReportMetric(res[0].DurableSec, "ranks_1aggr_durable_s")
+		b.ReportMetric(res[1].DurableSec, "ranks_4aggr_durable_s")
+		b.ReportMetric(jobs.JainIndex(shares), "jain")
+	}
+}
+
 // BenchmarkSched measures the batch-scheduler subsystem under a deep
 // backlog: ~1300 jobs offered at 8× the partition's capacity, so the
 // wait queue builds past 1000 entries and EASY backfill's per-decision
@@ -503,8 +578,8 @@ func BenchmarkSched(b *testing.B) {
 	// is a pure function of the schedule the run produces.
 	var totalBytes float64
 	for _, j := range stream {
-		wl := j.Spec.Workload
-		totalBytes += float64(wl.Epochs) * float64(wl.CheckpointBytes+wl.DiagBytes) * float64(j.Nodes)
+		sh := j.Spec.Workload.Shape()
+		totalBytes += float64(sh.Epochs) * float64(sh.BytesPerNode) * float64(j.Nodes)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

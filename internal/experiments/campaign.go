@@ -59,7 +59,7 @@ func (o Options) CampaignFailure() (sweep.Table, error) {
 	// scenario's own victim job, so a resized faultScenario cannot
 	// silently drift out of step with the sampler.
 	victim := faultScenario(burst.PolicyImmediate, burst.QoS{}, nil)[0]
-	wl := victim.Workload
+	wl := victim.Workload.Shape()
 	victimNodes := victim.Nodes
 	spanHours := float64(wl.Epochs) * o.CampaignEpochHours
 	lambda := fault.ExpectedFailures(mtbf, victimNodes, sim.Duration(spanHours*3600))

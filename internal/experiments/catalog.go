@@ -156,6 +156,28 @@ var catalog = []Artifact{
 		b.WriteString("\n")
 		return Output{Text: b.String(), Table: &st}, nil
 	}},
+	{"figworkload", "workload × drain-QoS × aggregator-count composition grid (chunked writer vs BIT1 rank schedule)", func(o Options, _ int) (Output, error) {
+		st, err := o.FigWorkloadSweep()
+		if err != nil {
+			return Output{}, err
+		}
+		t, cells := workloadTable(st)
+		var b strings.Builder
+		b.WriteString(t.Render() + "\n")
+		// Summary line the aggregator axis exists to show: funnelling the
+		// same volume through fewer writer nodes changes when it is durable.
+		for _, qos := range WorkloadQoSPolicies {
+			fmt.Fprintf(&b, "rank schedule, %-11s staged durable by aggregator count:", qos+":")
+			for _, c := range cells {
+				if c.Kind == "ranks" && c.QoS == qos {
+					fmt.Fprintf(&b, "  %d aggr %s", c.Aggr, units.Seconds(c.Result.Jobs[0].DurableSec))
+				}
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+		return Output{Text: b.String(), Table: &st}, nil
+	}},
 	{"figfault", "node-loss grid: kill-time × drain-policy × QoS, plus survivability", func(o Options, _ int) (Output, error) {
 		st, err := o.FigFaultSweep()
 		if err != nil {

@@ -44,7 +44,7 @@ type ContentionRow struct {
 // drain, so write-back bursts right when the neighbour writes) next to a
 // job writing directly to the shared PFS. Both stripe across every OST.
 func contentionSpecs(qos burst.QoS, epochs int) []jobs.Spec {
-	wl := jobs.Workload{
+	wl := jobs.BulkWriter{
 		Epochs:          epochs,
 		CheckpointBytes: 96 * units.MiB,
 		DiagBytes:       32 * units.MiB,

@@ -82,11 +82,11 @@ func faultQoS(name string) (burst.QoS, error) {
 // — the grid's headline separation between the policies' durability
 // positions.
 func faultScenario(pol burst.Policy, qos burst.QoS, f *fault.Spec) []jobs.Spec {
-	wl := jobs.Workload{
+	wl := jobs.ChunkedWriter{
 		Epochs:          faultEpochs,
 		CheckpointBytes: 128 * units.MiB,
 		ComputeSec:      0.03,
-		WriteChunkBytes: 16 * units.MiB,
+		ChunkBytes:      16 * units.MiB,
 	}
 	return []jobs.Spec{
 		{
@@ -107,7 +107,7 @@ func faultScenario(pol burst.Policy, qos burst.QoS, f *fault.Spec) []jobs.Spec {
 		{
 			Name:  "neighbour",
 			Nodes: 2,
-			Workload: jobs.Workload{
+			Workload: jobs.BulkWriter{
 				Epochs:     faultEpochs,
 				DiagBytes:  16 * units.MiB,
 				ComputeSec: 0.03,

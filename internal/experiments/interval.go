@@ -41,12 +41,12 @@ func intervalMachines() []cluster.Machine {
 // intervalProbeWorkload is the cost-measurement scenario shared by the
 // interval figure and the -optimal campaign: the fault grid's chunked
 // checkpoint writer.
-func intervalProbeWorkload() jobs.Workload {
-	return jobs.Workload{
+func intervalProbeWorkload() jobs.ChunkedWriter {
+	return jobs.ChunkedWriter{
 		Epochs:          6,
 		CheckpointBytes: 128 * units.MiB,
 		ComputeSec:      0.03,
-		WriteChunkBytes: 16 * units.MiB,
+		ChunkBytes:      16 * units.MiB,
 	}
 }
 

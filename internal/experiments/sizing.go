@@ -14,20 +14,19 @@ import (
 // sizingWorkload is the fixed staged workload every sizing cell runs: a
 // checkpoint-heavy writer whose per-node epoch output the capacity axis
 // is expressed against.
-func sizingWorkload() jobs.Workload {
-	return jobs.Workload{
+func sizingWorkload() jobs.ChunkedWriter {
+	return jobs.ChunkedWriter{
 		Epochs:          4,
 		CheckpointBytes: 96 * units.MiB,
 		DiagBytes:       32 * units.MiB,
 		ComputeSec:      0.02,
-		WriteChunkBytes: 16 * units.MiB,
+		ChunkBytes:      16 * units.MiB,
 	}
 }
 
 // sizingEpochBytes is one node's output per epoch under sizingWorkload.
 func sizingEpochBytes() int64 {
-	wl := sizingWorkload()
-	return wl.CheckpointBytes + wl.DiagBytes
+	return sizingWorkload().Shape().BytesPerNode
 }
 
 // SizingPoint is one cell of the buffer-sizing grid.

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"picmcio/internal/burst"
+	"picmcio/internal/cluster"
+	"picmcio/internal/jobs"
+	"picmcio/internal/sweep"
+	"picmcio/internal/units"
+)
+
+// WorkloadKinds is the workload axis of FigWorkload, in table order: the
+// flat chunked per-node writer and the mpisim rank schedule with
+// aggregator fan-in. Both emit the same logical volume per node per
+// epoch (96 MiB checkpoint + 32 MiB diagnostics), so every difference
+// between their rows is traffic shape, not traffic volume.
+var WorkloadKinds = []string{"chunked", "ranks"}
+
+// WorkloadQoSPolicies is the drain-QoS axis (a subset of the contention
+// grid's policies: the deadline pacer needs a per-workload window and is
+// left to FigContention).
+var WorkloadQoSPolicies = []string{"qos-off", "priority", "rate-limit"}
+
+// WorkloadAggregators is the aggregator-count axis for the rank
+// workload: how many writer groups the node leaders gather into. The
+// chunked workload has no aggregation stage, so its cells are invariant
+// along this axis.
+var WorkloadAggregators = []int{1, 2, 4}
+
+const (
+	workloadEpochs = 3
+	workloadNodes  = 4
+	workloadRanks  = 4 // ranks per node in the rank schedule
+)
+
+// workloadSpecs builds the two-job co-schedule of one FigWorkload cell
+// on Dardel: the workload under test staging through an epoch-end burst
+// tier next to a direct flat writer, both striped across every OST.
+func workloadSpecs(kind string, aggr int, qos burst.QoS) ([]jobs.Spec, error) {
+	var wl jobs.Workload
+	switch kind {
+	case "chunked":
+		wl = jobs.ChunkedWriter{
+			Epochs:          workloadEpochs,
+			CheckpointBytes: 96 * units.MiB,
+			DiagBytes:       32 * units.MiB,
+			ComputeSec:      0.02,
+			ChunkBytes:      16 * units.MiB,
+		}
+	case "ranks":
+		// 4 ranks × 24 MiB checkpoint and 4 × 8 MiB diagnostics per node:
+		// the chunked workload's volume, funnelled through aggr writers.
+		wl = jobs.RankWorkload{
+			Epochs:                 workloadEpochs,
+			RanksPerNode:           workloadRanks,
+			Aggregators:            aggr,
+			CheckpointBytesPerRank: 24 * units.MiB,
+			DiagBytesPerRank:       8 * units.MiB,
+			ComputeSec:             0.02,
+			ChunkBytes:             16 * units.MiB,
+		}
+	default:
+		return nil, fmt.Errorf("figworkload: unknown workload kind %q", kind)
+	}
+	return []jobs.Spec{
+		{
+			Name:  "staged",
+			Nodes: workloadNodes,
+			Burst: burst.Spec{
+				CapacityBytes: 2 << 30,
+				Rate:          6e9,
+				PerOp:         25e-6,
+				DrainRate:     0, // PFS-limited unless a QoS knob caps it
+				Policy:        burst.PolicyEpochEnd,
+				QoS:           qos,
+			},
+			Workload:    wl,
+			StripeCount: -1,
+		},
+		{
+			Name:  "direct",
+			Nodes: workloadNodes,
+			Workload: jobs.BulkWriter{
+				Epochs:          workloadEpochs,
+				CheckpointBytes: 96 * units.MiB,
+				DiagBytes:       32 * units.MiB,
+				ComputeSec:      0.02,
+			},
+			StripeCount: -1,
+		},
+	}, nil
+}
+
+// WorkloadCell is one grid cell of the workload-composition figure.
+type WorkloadCell struct {
+	Kind string
+	QoS  string
+	Aggr int
+
+	Result *jobs.ContentionResult
+}
+
+// FigWorkloadSweep is FigWorkload as a grid declaration: workload kind ×
+// drain QoS × aggregator count, one jobs.Contention run per cell. The
+// chunked workload has no aggregation stage, so its cells depend only on
+// the QoS axis; they are precomputed once per policy into an immutable
+// map the trials read (the FigFault baseline pattern), keeping trials
+// pure for parallel determinism without re-simulating identical cells.
+func (o Options) FigWorkloadSweep() (sweep.Table, error) {
+	o = o.WithDefaults()
+	m := cluster.Dardel()
+	chunked := map[string]*jobs.ContentionResult{}
+	for _, qosName := range WorkloadQoSPolicies {
+		qos, err := contentionQoS(qosName, 0)
+		if err != nil {
+			return sweep.Table{}, fmt.Errorf("figworkload: %w", err)
+		}
+		specs, err := workloadSpecs("chunked", 1, qos)
+		if err != nil {
+			return sweep.Table{}, err
+		}
+		res, err := jobs.Contention(m, specs, o.Seed)
+		if err != nil {
+			return sweep.Table{}, fmt.Errorf("figworkload chunked/%s: %w", qosName, err)
+		}
+		chunked[qosName] = res
+	}
+	g := sweep.Grid{
+		sweep.Strings("workload", WorkloadKinds),
+		sweep.Strings("qos", WorkloadQoSPolicies),
+		sweep.Ints("aggregators", WorkloadAggregators),
+	}
+	return sweep.Run(g, o.sweepOptions("Fig W: workload composition on Dardel (staged workload-under-test vs direct neighbour)"),
+		func(c sweep.Config) (sweep.Point, error) {
+			kind := c.Str("workload")
+			qosName := c.Str("qos")
+			aggr := c.Int("aggregators")
+			res := chunked[qosName]
+			if kind != "chunked" {
+				qos, err := contentionQoS(qosName, 0)
+				if err != nil {
+					return sweep.Point{}, err
+				}
+				specs, err := workloadSpecs(kind, aggr, qos)
+				if err != nil {
+					return sweep.Point{}, err
+				}
+				res, err = jobs.Contention(m, specs, o.Seed)
+				if err != nil {
+					return sweep.Point{}, fmt.Errorf("figworkload %s/%s/%d: %w", kind, qosName, aggr, err)
+				}
+			}
+			staged := res.Jobs[0]
+			cell := WorkloadCell{Kind: kind, QoS: qosName, Aggr: aggr, Result: res}
+			return sweep.Point{
+				Values: []sweep.Value{
+					sweep.V("staged_slowdown_x", res.Slowdown[0]),
+					sweep.V("direct_slowdown_x", res.Slowdown[1]),
+					sweep.V("jain", res.Jain),
+					sweep.V("staged_durable_s", staged.DurableSec),
+					sweep.V("staged_drain_gibps", units.GiBps(staged.DrainBps)),
+					sweep.V("ckpt_drained_bytes", float64(staged.Burst.Class[burst.ClassCheckpoint].DrainedBytes)),
+					sweep.V("diag_drained_bytes", float64(staged.Burst.Class[burst.ClassDiagnostic].DrainedBytes)),
+				},
+				Extra: cell,
+			}, nil
+		})
+}
+
+// FigWorkload is the workload-composition artifact: every workload kind
+// through the same staged two-job scenario under every drain QoS, with
+// the rank schedule additionally swept over aggregator counts — the
+// composition the Workload interface exists to make a grid declaration
+// instead of a per-combination rewrite.
+func (o Options) FigWorkload() (Table, []WorkloadCell, error) {
+	st, err := o.FigWorkloadSweep()
+	if err != nil {
+		return Table{}, nil, err
+	}
+	t, cells := workloadTable(st)
+	return t, cells, nil
+}
+
+// workloadTable builds the figure's text table and typed cells from the
+// sweep table. Chunked cells are identical along the aggregator axis, so
+// the text table prints them once per QoS (the JSON keeps every cell);
+// the dash in the aggr column marks the axis as not applicable.
+func workloadTable(st sweep.Table) (Table, []WorkloadCell) {
+	t := Table{
+		Title: st.Title,
+		Header: []string{"workload", "qos", "aggr", "job", "durable", "slowdown",
+			"client GiB/s", "drain GiB/s", "ckpt drained", "diag drained", "Jain"},
+	}
+	var cells []WorkloadCell
+	for _, p := range st.Points {
+		cell := p.Extra.(WorkloadCell)
+		cells = append(cells, cell)
+		aggr := fmt.Sprint(cell.Aggr)
+		if cell.Kind == "chunked" {
+			if cell.Aggr != WorkloadAggregators[0] {
+				continue
+			}
+			aggr = "-"
+		}
+		res := cell.Result
+		for i, j := range res.Jobs {
+			ck, dg, drain := "-", "-", "-"
+			if j.Burst != nil {
+				ck = units.Bytes(j.Burst.Class[burst.ClassCheckpoint].DrainedBytes)
+				dg = units.Bytes(j.Burst.Class[burst.ClassDiagnostic].DrainedBytes)
+				drain = fmt.Sprintf("%.3f", units.GiBps(j.DrainBps))
+			}
+			t.Rows = append(t.Rows, []string{
+				cell.Kind, cell.QoS, aggr, j.Name,
+				units.Seconds(j.DurableSec),
+				fmt.Sprintf("%.3fx", res.Slowdown[i]),
+				fmt.Sprintf("%.3f", units.GiBps(j.ClientBps)),
+				drain, ck, dg,
+				fmt.Sprintf("%.4f", res.Jain),
+			})
+		}
+	}
+	return t, cells
+}

@@ -257,10 +257,25 @@ type Injector struct {
 // Crash finds nothing staged (a finished writer drained before exiting).
 func Arm(k *sim.Kernel, at sim.Time, spec Spec, victims []Victim, tier *burst.Tier,
 	led *Ledger, restart func(p *sim.Proc, fromEpoch int)) *Injector {
+	return ArmWith(k, at, spec, victims, tier, led, nil, restart)
+}
+
+// ArmWith is Arm with an explicit durable-position probe: drained is
+// sampled at kill time (before the crash destroys staged state) and fed
+// to Assess in place of the default minimum over the victims'
+// drained-byte counters. Callers whose staged output is not uniform
+// across nodes — aggregating workloads whose ledger counts epochs
+// rather than bytes — supply a closure that reports the position in the
+// ledger's own units; nil keeps the default.
+func ArmWith(k *sim.Kernel, at sim.Time, spec Spec, victims []Victim, tier *burst.Tier,
+	led *Ledger, drainedFn func() int64, restart func(p *sim.Proc, fromEpoch int)) *Injector {
 	inj := &Injector{}
 	k.SpawnAt(at, "fault.inject", func(p *sim.Proc) {
 		drained := int64(-1)
-		if tier != nil {
+		switch {
+		case drainedFn != nil:
+			drained = drainedFn()
+		case tier != nil:
 			drained = math.MaxInt64
 			for _, v := range victims {
 				if d := tier.NodeStats(v.Node).DrainedBytes; d < drained {

@@ -16,7 +16,7 @@ import (
 // production rate so a write-back backlog exists at the kill — the window
 // where the two durability levels diverge.
 func faultSpecs(f *fault.Spec) []jobs.Spec {
-	wl := jobs.Workload{
+	wl := jobs.BulkWriter{
 		Epochs:          5,
 		CheckpointBytes: 96 * units.MiB,
 		ComputeSec:      0.03,

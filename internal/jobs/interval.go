@@ -38,7 +38,10 @@ import (
 // epoch-end drain's longer tail, a watermark drain's deep backlog —
 // land in the measured lag exactly as the fault ledger would see them.
 func MeasureCheckpointCosts(m cluster.Machine, wl Workload, nodes int, seed uint64) (ckptopt.Costs, error) {
-	if wl.Epochs < 1 {
+	if wl == nil {
+		return ckptopt.Costs{}, fmt.Errorf("jobs: cost probe needs a workload")
+	}
+	if wl.Shape().Epochs < 1 {
 		return ckptopt.Costs{}, fmt.Errorf("jobs: cost probe needs at least one epoch")
 	}
 	costs := m.CheckpointCosts(nodes)
@@ -76,7 +79,8 @@ func MeasureCheckpointCosts(m cluster.Machine, wl Workload, nodes int, seed uint
 // result: the application time beyond the declared compute phases,
 // divided across epochs.
 func perEpochSave(r Result, wl Workload, kind string) (float64, error) {
-	save := (r.AppSec - float64(wl.ComputeSec)*float64(wl.Epochs)) / float64(wl.Epochs)
+	sh := wl.Shape()
+	save := (r.AppSec - float64(sh.ComputeSec)*float64(sh.Epochs)) / float64(sh.Epochs)
 	if !(save > 0) {
 		return 0, fmt.Errorf("jobs: %s probe measured non-positive save cost %v", kind, save)
 	}
@@ -88,6 +92,6 @@ func perEpochSave(r Result, wl Workload, kind string) (float64, error) {
 // campaign run a co-schedule *at* the ckptopt optimum instead of a
 // hand-picked epoch length.
 func (s Spec) IntervalFrom(p ckptopt.Plan) Spec {
-	s.Workload.ComputeSec = sim.Duration(p.IntervalSec())
+	s.Workload = s.Workload.WithCompute(sim.Duration(p.IntervalSec()))
 	return s
 }

@@ -14,12 +14,12 @@ import (
 
 // probeWorkload is the cost-measurement scenario: chunked checkpoint
 // writes with a real compute phase, sized like the fault grid's victim.
-func probeWorkload() jobs.Workload {
-	return jobs.Workload{
+func probeWorkload() jobs.ChunkedWriter {
+	return jobs.ChunkedWriter{
 		Epochs:          6,
 		CheckpointBytes: 128 * units.MiB,
 		ComputeSec:      0.03,
-		WriteChunkBytes: 16 * units.MiB,
+		ChunkBytes:      16 * units.MiB,
 	}
 }
 
@@ -87,9 +87,13 @@ func TestMeasureCheckpointCosts(t *testing.T) {
 		t.Errorf("direct-only machine grew staged measurements: %+v", dc)
 	}
 
-	// A probe without epochs cannot price anything.
-	if _, err := jobs.MeasureCheckpointCosts(m, jobs.Workload{}, 2, 1); err == nil {
+	// A probe without epochs cannot price anything, and neither can one
+	// without a workload.
+	if _, err := jobs.MeasureCheckpointCosts(m, jobs.BulkWriter{}, 2, 1); err == nil {
 		t.Error("epoch-less probe accepted")
+	}
+	if _, err := jobs.MeasureCheckpointCosts(m, nil, 2, 1); err == nil {
+		t.Error("nil-workload probe accepted")
 	}
 }
 
@@ -106,13 +110,13 @@ func TestIntervalFrom(t *testing.T) {
 	}
 	spec := jobs.Spec{Name: "campaign", Nodes: 2, Workload: probeWorkload()}
 	tuned := spec.IntervalFrom(p)
-	if got, want := float64(tuned.Workload.ComputeSec), p.IntervalSec(); got != want {
+	if got, want := float64(tuned.Workload.Shape().ComputeSec), p.IntervalSec(); got != want {
 		t.Errorf("ComputeSec %v, want the recommended interval %v", got, want)
 	}
-	if tuned.Workload.Epochs != spec.Workload.Epochs || tuned.Name != spec.Name {
+	if tuned.Workload.Shape().Epochs != spec.Workload.Shape().Epochs || tuned.Name != spec.Name {
 		t.Error("IntervalFrom disturbed unrelated spec fields")
 	}
-	if spec.Workload.ComputeSec != probeWorkload().ComputeSec {
+	if spec.Workload.Shape().ComputeSec != probeWorkload().ComputeSec {
 		t.Error("IntervalFrom mutated the caller's spec")
 	}
 	if sim.Duration(p.IntervalSec()) <= 0 {

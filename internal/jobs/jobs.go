@@ -17,6 +17,7 @@ package jobs
 
 import (
 	"fmt"
+	"math"
 
 	"picmcio/internal/burst"
 	"picmcio/internal/cluster"
@@ -26,32 +27,6 @@ import (
 	"picmcio/internal/sim"
 )
 
-// Workload is one job's per-node output pattern: every epoch each node
-// writes a checkpoint file and a diagnostic file (classified into the
-// matching drain lanes by name), then computes. One writer process per
-// node stands in for the node's aggregator rank, keeping event counts
-// proportional to nodes rather than ranks.
-type Workload struct {
-	Epochs          int
-	CheckpointBytes int64        // checkpoint bytes per node per epoch
-	DiagBytes       int64        // diagnostic bytes per node per epoch
-	ComputeSec      sim.Duration // compute phase between epochs
-
-	// WriteChunkBytes issues each file's bytes as a sequence of chunked
-	// writes instead of one call (0 = single write). Chunking is what an
-	// aggregator's flush loop really does, and it is load-bearing for the
-	// drain policies: an immediate drain overlaps write-back with the
-	// absorb of the remaining chunks, while an epoch-end drain cannot
-	// start until the nudge — the head start that separates the policies'
-	// durability positions under fault injection.
-	WriteChunkBytes int64
-}
-
-// bytesPerNode is one node's total output over the run.
-func (w Workload) bytesPerNode() int64 {
-	return int64(w.Epochs) * (w.CheckpointBytes + w.DiagBytes)
-}
-
 // Spec describes one job of a co-schedule.
 type Spec struct {
 	Name  string
@@ -59,7 +34,10 @@ type Spec struct {
 	// Burst sizes the job's private staging tier; the zero value makes
 	// the job write directly to the shared PFS. The spec's QoS field
 	// carries the job's drain QoS policy.
-	Burst    burst.Spec
+	Burst burst.Spec
+	// Workload is the job's application model (see workload.go):
+	// BulkWriter/ChunkedWriter for the flat per-node writer, RankWorkload
+	// for mpisim/BIT1 rank schedules with aggregator fan-in.
 	Workload Workload
 
 	// StripeCount widens the job's output directory striping on
@@ -237,18 +215,36 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 		return nil, fmt.Errorf("jobs: no job specs")
 	}
 	total := 0
+	names := make(map[string]int, len(specs))
 	for i, s := range specs {
 		if s.Name == "" {
 			return nil, fmt.Errorf("jobs: spec %d has no name", i)
 		}
+		// Job names key the per-job output directory on the shared file
+		// system; two jobs sharing a name would silently truncate each
+		// other's per-epoch files in /scratch/<name>.
+		if j, dup := names[s.Name]; dup {
+			return nil, fmt.Errorf("jobs: specs %d and %d both named %q — their output would collide in %s", j, i, s.Name, s.dir())
+		}
+		names[s.Name] = i
 		if s.Nodes < 1 {
 			return nil, fmt.Errorf("jobs: job %s needs at least one node", s.Name)
 		}
-		if s.Workload.Epochs < 1 {
+		if s.Workload == nil {
+			return nil, fmt.Errorf("jobs: job %s has no workload", s.Name)
+		}
+		sh := s.Workload.Shape()
+		if sh.Epochs < 1 {
 			return nil, fmt.Errorf("jobs: job %s needs at least one epoch", s.Name)
 		}
+		if err := s.Workload.Validate(s.Nodes); err != nil {
+			return nil, fmt.Errorf("jobs: job %s: %w", s.Name, err)
+		}
 		if s.Fault != nil {
-			if err := s.Fault.Validate(s.Nodes, s.Workload.Epochs); err != nil {
+			if sh.Coordinated && !s.Fault.WholeJob {
+				return nil, fmt.Errorf("jobs: job %s: coordinated workloads restart whole-job only (surviving ranks block in collectives a partial restart cannot re-enter)", s.Name)
+			}
+			if err := s.Fault.Validate(s.Nodes, sh.Epochs); err != nil {
 				return nil, fmt.Errorf("jobs: job %s: %w", s.Name, err)
 			}
 		}
@@ -280,6 +276,17 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 		if spec.Burst.Enabled() {
 			rt.tier = burst.NewTier(k, spec.Burst, sys.FS)
 		}
+		binding := Binding{K: k, Nodes: spec.Nodes, Dir: spec.dir()}
+		rt.shape = spec.Workload.Shape()
+		rt.body = spec.Workload.Bind(binding)
+		// The restart ledger's byte ladder assumes every node stages the
+		// same bytes each epoch; aggregating workloads stage everything on
+		// their writer nodes, so their ledger counts epochs instead and the
+		// durable position comes from the drained closure below.
+		rt.cumStep = rt.shape.BytesPerNode
+		if _, staged := rt.body.(stagedWriters); staged {
+			rt.cumStep = 1
+		}
 		rt.spawn = func(node, from int, mark bool) *sim.Proc {
 			client := alloc.Clients[node]
 			name := fmt.Sprintf("job.%s.%d", spec.Name, node)
@@ -292,14 +299,14 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 		}
 		if spec.Fault != nil {
 			rt.ledger = &fault.Ledger{}
-			rt.epochFill = make([]int, spec.Workload.Epochs)
+			rt.epochFill = make([]int, rt.shape.Epochs)
 			// arm fires when the kill epoch's writes are job-wide buffered
 			// (every node is then in its compute phase): the injector kills
 			// the victims KillFrac into that phase, crashes their buffers,
 			// and respawns their writers from the recovery epoch.
 			rt.arm = func(p *sim.Proc) {
 				f := spec.Fault
-				at := p.Now() + sim.Duration(f.KillFrac*float64(spec.Workload.ComputeSec))
+				at := p.Now() + sim.Duration(f.KillFrac*float64(rt.shape.ComputeSec))
 				var victims []fault.Victim
 				var nodes []int
 				for n := 0; n < spec.Nodes; n++ {
@@ -308,7 +315,32 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 						nodes = append(nodes, n)
 					}
 				}
-				rt.inj = fault.Arm(k, at, *f, victims, rt.tier, rt.ledger, func(p *sim.Proc, from int) {
+				var drained func() int64
+				if sw, ok := rt.body.(stagedWriters); ok && rt.tier != nil {
+					// Epoch-unit ledger: the durable position is the minimum
+					// count of whole staged epochs written back across the
+					// workload's writer nodes (coordinated workloads restart
+					// whole-job, so every writer node is restarting).
+					wNodes, perEpoch := sw.StagedWriters()
+					drained = func() int64 {
+						eps := int64(math.MaxInt64)
+						for wi, n := range wNodes {
+							var e int64
+							if perEpoch[wi] > 0 {
+								e = rt.tier.NodeStats(alloc.Clients[n].Node).DrainedBytes / perEpoch[wi]
+							}
+							if e < eps {
+								eps = e
+							}
+						}
+						if eps == math.MaxInt64 {
+							return -1
+						}
+						return eps
+					}
+				}
+				rt.inj = fault.ArmWith(k, at, *f, victims, rt.tier, rt.ledger, drained, func(p *sim.Proc, from int) {
+					var dead []int
 					for _, n := range nodes {
 						// Respawn only writers the kill actually reached: a
 						// victim that finished before the kill fired (late
@@ -316,8 +348,26 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 						// accounting, and re-running it would double-count
 						// the job's output.
 						if rt.writers[n].Killed() {
-							rt.writers[n] = rt.spawn(n, from, false)
+							dead = append(dead, n)
 						}
+					}
+					if len(dead) == 0 {
+						return
+					}
+					if rt.shape.Coordinated {
+						if len(dead) != spec.Nodes {
+							// A subset of a lockstep job cannot restart: the
+							// fresh incarnation's collectives would wait for
+							// ranks that already exited.
+							rt.fail(fmt.Errorf("coordinated restart reached %d of %d writers — place the kill in an epoch every rank is still computing", len(dead), spec.Nodes))
+							return
+						}
+						// Fresh incarnation: collective state must not leak
+						// across the restart.
+						rt.body = spec.Workload.Bind(binding)
+					}
+					for _, n := range dead {
+						rt.writers[n] = rt.spawn(n, from, false)
 					}
 				})
 			}
@@ -357,7 +407,7 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 				victims = spec.Nodes
 			}
 			if re := spec.Fault.KillEpoch + 1 - r.Fault.RestartEpoch; re > 0 {
-				r.Fault.ReplayedBytes = int64(re) * (spec.Workload.CheckpointBytes + spec.Workload.DiagBytes) * int64(victims)
+				r.Fault.ReplayedBytes = int64(re) * rt.shape.BytesPerNode * int64(victims)
 			}
 		}
 		out[i] = r
@@ -369,6 +419,8 @@ func Run(m cluster.Machine, specs []Spec, seed uint64) ([]Result, error) {
 // The sim kernel serializes processes, so plain fields are safe.
 type jobRT struct {
 	tier    *burst.Tier
+	shape   Shape       // the workload's sizing contract
+	body    EpochWriter // current bound incarnation's epoch body
 	spawn   func(node, fromEpoch int, mark bool) *sim.Proc
 	writers []*sim.Proc // current writer incarnation per node
 	appEnd  sim.Time
@@ -378,11 +430,15 @@ type jobRT struct {
 
 	// Fault-injection state (nil/unused when the spec carries no fault).
 	ledger    *fault.Ledger
-	epochFill []int             // writers that buffered each epoch so far
-	cum       int64             // per-node staged bytes through marked epochs
-	arm       func(p *sim.Proc) // schedules the injector at the kill epoch
-	armed     bool
-	inj       *fault.Injector
+	epochFill []int // writers that buffered each epoch so far
+	// cum advances by cumStep per marked epoch: per-node staged bytes for
+	// uniform workloads, 1 (epoch units) for aggregating workloads whose
+	// durable position comes from the drained closure instead.
+	cum     int64
+	cumStep int64
+	arm     func(p *sim.Proc) // schedules the injector at the kill epoch
+	armed   bool
+	inj     *fault.Injector
 }
 
 // markEpoch records a node's epoch completion; when the whole job has the
@@ -397,8 +453,7 @@ func (rt *jobRT) markEpoch(p *sim.Proc, spec Spec, e int) {
 	if rt.epochFill[e] < spec.Nodes {
 		return
 	}
-	wl := spec.Workload
-	rt.cum += wl.CheckpointBytes + wl.DiagBytes
+	rt.cum += rt.cumStep
 	rt.ledger.Mark(p.Now(), rt.cum)
 	if !rt.armed && e == spec.Fault.KillEpoch {
 		rt.armed = true
@@ -406,8 +461,8 @@ func (rt *jobRT) markEpoch(p *sim.Proc, spec Spec, e int) {
 	}
 }
 
-// runNode is one node's writer process: per epoch, a checkpoint file and
-// a diagnostic file (unique paths, so nothing truncate-cancels pending
+// runNode is one node's writer process: per epoch, the workload body's
+// writes (unique per-epoch paths, so nothing truncate-cancels pending
 // write-back), an epoch-close drain nudge, then the compute phase. It
 // records the job's app end (last write returned) and durable end (every
 // staged byte written back) high-water marks on the shared jobRT.
@@ -425,25 +480,14 @@ func runNode(p *sim.Proc, direct pfs.FileSystem, spec Spec, node int, client *pf
 		fsx = rt.tier.FS()
 	}
 	env := &posix.Env{FS: fsx, Client: client}
-	dir := spec.dir()
-	wl := spec.Workload
-	if !mark && startEpoch > 0 && wl.ComputeSec > 0 {
-		p.Sleep(wl.ComputeSec)
+	sh := rt.shape
+	if !mark && startEpoch > 0 && sh.ComputeSec > 0 {
+		p.Sleep(sh.ComputeSec)
 	}
-	for e := startEpoch; e < wl.Epochs; e++ {
-		if wl.CheckpointBytes > 0 {
-			path := fmt.Sprintf("%s/ckpt_%03d_e%03d.dmp", dir, node, e)
-			if err := writeFile(p, env, path, wl.CheckpointBytes, wl.WriteChunkBytes); err != nil {
-				rt.fail(err)
-				return
-			}
-		}
-		if wl.DiagBytes > 0 {
-			path := fmt.Sprintf("%s/diag_%03d_e%03d.dat", dir, node, e)
-			if err := writeFile(p, env, path, wl.DiagBytes, wl.WriteChunkBytes); err != nil {
-				rt.fail(err)
-				return
-			}
+	for e := startEpoch; e < sh.Epochs; e++ {
+		if err := rt.body.WriteEpoch(p, env, node, e); err != nil {
+			rt.fail(err)
+			return
 		}
 		if rt.tier != nil {
 			rt.tier.DrainEpoch(p)
@@ -451,11 +495,11 @@ func runNode(p *sim.Proc, direct pfs.FileSystem, spec Spec, node int, client *pf
 		if mark {
 			rt.markEpoch(p, spec, e)
 		}
-		if wl.ComputeSec > 0 {
-			p.Sleep(wl.ComputeSec)
+		if sh.ComputeSec > 0 {
+			p.Sleep(sh.ComputeSec)
 		}
 	}
-	rt.written += wl.bytesPerNode()
+	rt.written += int64(sh.Epochs) * sh.BytesPerNode
 	if now := p.Now(); now > rt.appEnd {
 		rt.appEnd = now
 	}

@@ -26,7 +26,7 @@ func testSpecs(qos burst.QoS) []jobs.Spec {
 			Policy:        burst.PolicyEpochEnd,
 			QoS:           qos,
 		},
-		Workload: jobs.Workload{
+		Workload: jobs.BulkWriter{
 			Epochs:          3,
 			CheckpointBytes: 96 * units.MiB,
 			DiagBytes:       32 * units.MiB,
@@ -37,7 +37,7 @@ func testSpecs(qos burst.QoS) []jobs.Spec {
 	direct := jobs.Spec{
 		Name:  "direct",
 		Nodes: 2,
-		Workload: jobs.Workload{
+		Workload: jobs.BulkWriter{
 			Epochs:          3,
 			CheckpointBytes: 96 * units.MiB,
 			DiagBytes:       32 * units.MiB,
@@ -122,6 +122,23 @@ func TestStagedJobAbsorbsAndDrains(t *testing.T) {
 	dg := staged.Burst.Class[burst.ClassDiagnostic].DrainedBytes
 	if ck == 0 || dg == 0 || ck+dg != staged.Burst.DrainedBytes {
 		t.Fatalf("lane accounting: ckpt=%d diag=%d total=%d", ck, dg, staged.Burst.DrainedBytes)
+	}
+}
+
+// TestRunRejectsDuplicateNames: job names key the per-job output
+// directories, so two specs sharing a name would silently truncate each
+// other's per-epoch files — Run must refuse up front. An unnamed spec
+// is rejected for the same reason.
+func TestRunRejectsDuplicateNames(t *testing.T) {
+	specs := testSpecs(burst.QoS{})
+	specs[1].Name = specs[0].Name
+	_, err := jobs.Run(cluster.Dardel(), specs, 1)
+	if err == nil {
+		t.Fatal("duplicate job names accepted")
+	}
+	specs[1].Name = ""
+	if _, err := jobs.Run(cluster.Dardel(), specs, 1); err == nil {
+		t.Fatal("unnamed job accepted")
 	}
 }
 

@@ -1,0 +1,224 @@
+// RankWorkload runs an mpisim/BIT1-style rank schedule inside a
+// co-scheduled job: every node hosts RanksPerNode ranks whose epoch
+// output funnels through an intra-node fan-in to the node-leader rank,
+// the node leaders gatherv across nodes into Aggregators writer groups,
+// and each group's aggregator node writes the group's combined
+// checkpoint (.dmp) and diagnostic (.dat) files — so the drain lanes,
+// QoS policies, fault ledger and scheduler pricing all see the traffic
+// shape aggregator placement actually produces, instead of the uniform
+// per-node pattern the flat writers emit.
+package jobs
+
+import (
+	"fmt"
+
+	"picmcio/internal/mpisim"
+	"picmcio/internal/posix"
+	"picmcio/internal/sim"
+	"picmcio/internal/workload"
+)
+
+// RankWorkload is a coordinated (lockstep) Workload: the job's per-node
+// writer processes attach to a private mpisim world, so collectives
+// synchronize the nodes exactly as MPI would. Faults against it must be
+// WholeJob, and a restart binds a fresh world.
+type RankWorkload struct {
+	Epochs       int
+	RanksPerNode int // ranks each node hosts (>= 1)
+	// Aggregators is the number of writer groups the node leaders gather
+	// into (<= nodes; 0 = 1). Groups are contiguous node ranges and may
+	// be uneven when Aggregators does not divide the node count; the
+	// lowest node of each group is its aggregator (writer).
+	Aggregators int
+
+	CheckpointBytesPerRank int64 // checkpoint bytes per rank per epoch
+	DiagBytesPerRank       int64 // diagnostic bytes per rank per epoch
+	ComputeSec             sim.Duration
+	// ChunkBytes chunks the aggregated file writes like an ADIOS2
+	// aggregator's flush loop (<= 0: one call per file).
+	ChunkBytes int64
+
+	// NetAlpha/NetBeta parameterize the alpha-beta network model for the
+	// fan-in and gather collectives (0: 1 µs latency, 10 GB/s).
+	NetAlpha float64
+	NetBeta  float64
+}
+
+// BIT1Rank returns a RankWorkload calibrated against the paper's BIT1
+// Table II sizing at the given total rank count (ranksPerNode × nodes):
+// per-rank checkpoint and diagnostic snapshot bytes from the global
+// snapshot sizes.
+func BIT1Rank(epochs, nodes, ranksPerNode, aggregators int, compute sim.Duration) RankWorkload {
+	s := workload.Default()
+	ranks := nodes * ranksPerNode
+	return RankWorkload{
+		Epochs:                 epochs,
+		RanksPerNode:           ranksPerNode,
+		Aggregators:            aggregators,
+		CheckpointBytesPerRank: s.PerRankCheckpoint(ranks),
+		DiagBytesPerRank:       s.PerRankDiag(ranks),
+		ComputeSec:             compute,
+	}
+}
+
+// aggr is the effective writer-group count.
+func (w RankWorkload) aggr() int {
+	if w.Aggregators < 1 {
+		return 1
+	}
+	return w.Aggregators
+}
+
+// perNodeBytes is one node's logical output per epoch.
+func (w RankWorkload) perNodeBytes() int64 {
+	return int64(w.RanksPerNode) * (w.CheckpointBytesPerRank + w.DiagBytesPerRank)
+}
+
+// Shape implements Workload.
+func (w RankWorkload) Shape() Shape {
+	return Shape{
+		Epochs:       w.Epochs,
+		BytesPerNode: w.perNodeBytes(),
+		ComputeSec:   w.ComputeSec,
+		Coordinated:  true,
+	}
+}
+
+// Key implements Workload.
+func (w RankWorkload) Key() any { return w }
+
+// Validate implements Workload.
+func (w RankWorkload) Validate(nodes int) error {
+	if w.RanksPerNode < 1 {
+		return fmt.Errorf("rank workload needs at least one rank per node, got %d", w.RanksPerNode)
+	}
+	if w.aggr() > nodes {
+		return fmt.Errorf("rank workload has %d aggregator groups but only %d node(s)", w.aggr(), nodes)
+	}
+	if w.CheckpointBytesPerRank < 0 || w.DiagBytesPerRank < 0 {
+		return fmt.Errorf("rank workload has negative per-rank bytes")
+	}
+	return nil
+}
+
+// WithCompute implements Workload.
+func (w RankWorkload) WithCompute(d sim.Duration) Workload {
+	w.ComputeSec = d
+	return w
+}
+
+// Bind implements Workload: a fresh mpisim world per job incarnation,
+// so a whole-job restart re-enters collectives from a clean slate.
+func (w RankWorkload) Bind(b Binding) EpochWriter {
+	alpha, beta := w.NetAlpha, w.NetBeta
+	if alpha == 0 {
+		alpha = 1e-6
+	}
+	if beta == 0 {
+		beta = 1.0 / 10e9
+	}
+	cost := mpisim.AlphaBeta(alpha, beta)
+	return &rankWriter{
+		wl:     w,
+		dir:    b.Dir,
+		nodes:  b.Nodes,
+		cost:   cost,
+		world:  mpisim.NewWorld(b.K, b.Nodes, cost),
+		ranks:  make([]*mpisim.Rank, b.Nodes),
+		groups: make([]*mpisim.Comm, b.Nodes),
+	}
+}
+
+// rankWriter is one incarnation's bound epoch body. The per-node writer
+// process stands in for the node's leader rank in the mpisim world; the
+// node's other ranks contribute through the fan-in cost, keeping event
+// counts proportional to nodes rather than ranks.
+type rankWriter struct {
+	wl    RankWorkload
+	dir   string
+	nodes int
+	cost  mpisim.CostModel
+	world *mpisim.World
+
+	ranks  []*mpisim.Rank // lazily attached node-leader ranks
+	groups []*mpisim.Comm // per node: its writer-group communicator
+}
+
+// group maps a node to its contiguous writer group.
+func (rw *rankWriter) group(node int) int {
+	return node * rw.wl.aggr() / rw.nodes
+}
+
+// WriteEpoch implements EpochWriter. Per epoch and node: intra-node
+// fan-in to the leader rank, a gatherv of checkpoint then diagnostic
+// bytes onto the group's aggregator, and — on the aggregator only — the
+// group's combined .dmp/.dat files through env. Non-aggregator nodes
+// return after the gathers and overlap their compute with the
+// aggregator's writes, exactly the skew ADIOS2 aggregation produces.
+func (rw *rankWriter) WriteEpoch(p *sim.Proc, env *posix.Env, node, epoch int) error {
+	r := rw.ranks[node]
+	if r == nil {
+		// First epoch of this incarnation: attach the writer process as
+		// the node's world rank and split off the writer-group
+		// communicator (a collective, so it doubles as the startup
+		// barrier).
+		r = rw.world.Attach(node, p)
+		rw.ranks[node] = r
+		rw.groups[node] = r.Comm.Split(rw.group(node), node)
+	}
+	gc := rw.groups[node]
+	ck := rw.wl.CheckpointBytesPerRank * int64(rw.wl.RanksPerNode)
+	dg := rw.wl.DiagBytesPerRank * int64(rw.wl.RanksPerNode)
+	if rw.wl.RanksPerNode > 1 {
+		// Intra-node fan-in: the node's ranks funnel their buffers to the
+		// leader before it enters the cross-node gather.
+		p.Sleep(rw.cost(rw.wl.RanksPerNode, ck+dg))
+	}
+	cks := gc.GathervBytes(ck, nil, 0)
+	var dgs []mpisim.GatherChunk
+	if dg > 0 {
+		dgs = gc.GathervBytes(dg, nil, 0)
+	}
+	if gc.Rank() != 0 {
+		return nil
+	}
+	var ckTotal, dgTotal int64
+	for _, c := range cks {
+		ckTotal += c.N
+	}
+	for _, c := range dgs {
+		dgTotal += c.N
+	}
+	g := rw.group(node)
+	if ckTotal > 0 {
+		path := fmt.Sprintf("%s/ckpt_agg%03d_e%03d.dmp", rw.dir, g, epoch)
+		if err := writeFile(p, env, path, ckTotal, rw.wl.ChunkBytes); err != nil {
+			return err
+		}
+	}
+	if dgTotal > 0 {
+		path := fmt.Sprintf("%s/diag_agg%03d_e%03d.dat", rw.dir, g, epoch)
+		if err := writeFile(p, env, path, dgTotal, rw.wl.ChunkBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StagedWriters implements the stagedWriters hook: only the aggregator
+// nodes physically write, each staging its whole group's epoch bytes.
+func (rw *rankWriter) StagedWriters() (nodes []int, bytesPerEpoch []int64) {
+	perNode := rw.wl.perNodeBytes()
+	a := rw.wl.aggr()
+	nodes = make([]int, 0, a)
+	bytesPerEpoch = make([]int64, 0, a)
+	for n := 0; n < rw.nodes; n++ {
+		g := rw.group(n)
+		if len(nodes) == g {
+			nodes = append(nodes, n)
+			bytesPerEpoch = append(bytesPerEpoch, 0)
+		}
+		bytesPerEpoch[g] += perNode
+	}
+	return nodes, bytesPerEpoch
+}

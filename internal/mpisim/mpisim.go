@@ -90,6 +90,21 @@ func (w *World) Run(fn func(r *Rank)) sim.Time {
 	return w.K.Run()
 }
 
+// Attach registers an externally managed process as world rank id and
+// returns its rank handle — the hook for drivers that own their
+// processes (a co-scheduled job's per-node writers, say) and want them
+// to run rank programs without World.Spawn. Each rank id must be
+// attached to exactly one process, and every rank of the world must
+// participate before a world-communicator collective can complete.
+func (w *World) Attach(id int, p *sim.Proc) *Rank {
+	if id < 0 || id >= w.Size {
+		panic(fmt.Sprintf("mpisim: attach rank %d outside world of size %d", id, w.Size))
+	}
+	r := &Rank{ID: id, Proc: p, W: w}
+	r.Comm = &Comm{g: w.world, rank: id, r: r}
+	return r
+}
+
 // commGroup is the shared state of one communicator.
 type commGroup struct {
 	w     *World

@@ -258,3 +258,40 @@ func TestExscanVecMatchesScalar(t *testing.T) {
 		}
 	})
 }
+
+// TestAttachExternalProcs: processes the caller owns (not spawned by
+// World.Spawn) attach as world ranks and complete collectives together
+// with identical semantics — the hook co-scheduled job writers use.
+func TestAttachExternalProcs(t *testing.T) {
+	k := sim.NewKernel()
+	w := NewWorld(k, 4, AlphaBeta(1e-6, 1.0/10e9))
+	sums := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("ext", func(p *sim.Proc) {
+			r := w.Attach(i, p)
+			p.Sleep(sim.Time(i) * 0.01) // staggered arrivals
+			sums[i] = r.Comm.AllreduceF64(float64(i), "sum")
+		})
+	}
+	k.Run()
+	for i, s := range sums {
+		if s != 6 {
+			t.Errorf("attached rank %d: sum=%v, want 6", i, s)
+		}
+	}
+}
+
+func TestAttachRejectsOutOfRangeRank(t *testing.T) {
+	k := sim.NewKernel()
+	w := NewWorld(k, 2, nil)
+	k.Spawn("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("attach of rank 2 to a world of size 2 did not panic")
+			}
+		}()
+		w.Attach(2, p)
+	})
+	k.Run()
+}

@@ -15,6 +15,10 @@ type Price struct {
 	// ServiceHours is the isolated durable-completion time on the
 	// campaign clock: sim seconds scaled by EpochHours per compute phase.
 	ServiceHours float64
+	// EstimateHours is the walltime estimate the scheduler plans against:
+	// ServiceHours padded by the pricer's EstimateError multiplier. With
+	// a zero error it equals ServiceHours (the perfect-oracle default).
+	EstimateHours float64
 	// DrainBps is the job's PFS write-back demand in simulation
 	// bytes/second (drain bandwidth for staged jobs, client bandwidth for
 	// direct writers) — the numerator of the contention stretch model.
@@ -34,13 +38,23 @@ type Pricer struct {
 	seed       uint64
 	epochHours float64
 	cache      map[shapeKey]Price
+
+	// EstimateError is the deterministic walltime-estimate error the
+	// scheduler plans against: every Price's EstimateHours is
+	// ServiceHours × (1 + EstimateError). Production users pad their
+	// walltime requests — often severely — and backfill planners see the
+	// padded number, not the truth; 0 (the default) keeps the historical
+	// perfect oracle. Must be >= 0: estimates are padded, never short.
+	EstimateError float64
 }
 
 // shapeKey is the comparable projection of a jobs.Spec (the Classify
-// func is deliberately excluded: stream specs must leave it nil).
+// func is deliberately excluded: stream specs must leave it nil). The
+// workload contributes its comparable Key fingerprint, so two specs
+// share a cache entry exactly when their workloads behave identically.
 type shapeKey struct {
 	nodes       int
-	wl          jobs.Workload
+	wl          any
 	burst       burstKey
 	stripeCount int
 	stripeSize  int64
@@ -58,9 +72,13 @@ type burstKey struct {
 }
 
 func keyOf(s jobs.Spec) shapeKey {
+	var wl any
+	if s.Workload != nil {
+		wl = s.Workload.Key()
+	}
 	return shapeKey{
 		nodes: s.Nodes,
-		wl:    s.Workload,
+		wl:    wl,
 		burst: burstKey{
 			capacity:  s.Burst.CapacityBytes,
 			rate:      s.Burst.Rate,
@@ -93,7 +111,7 @@ func (p *Pricer) Price(spec jobs.Spec) (Price, error) {
 	}
 	k := keyOf(spec)
 	if pr, ok := p.cache[k]; ok {
-		return pr, nil
+		return p.estimate(pr), nil
 	}
 	// Isolated run under a canonical name: the price must depend on the
 	// shape, not on which queued job first exercised it.
@@ -105,22 +123,30 @@ func (p *Pricer) Price(spec jobs.Spec) (Price, error) {
 		return Price{}, fmt.Errorf("sched: pricing %q: %w", spec.Name, err)
 	}
 	r := res[0]
-	wl := spec.Workload
-	computeSec := float64(wl.Epochs) * float64(wl.ComputeSec)
+	sh := spec.Workload.Shape()
+	computeSec := float64(sh.Epochs) * float64(sh.ComputeSec)
 	// Clock anchor: one compute phase stands for epochHours production
 	// hours. A pure-I/O shape (no compute) falls back to 1 sim second =
 	// one production hour, so it still gets a nonzero, deterministic
 	// service time.
 	hoursPerSimSec := 1.0
-	if wl.ComputeSec > 0 {
-		hoursPerSimSec = p.epochHours / float64(wl.ComputeSec)
+	if sh.ComputeSec > 0 {
+		hoursPerSimSec = p.epochHours / float64(sh.ComputeSec)
 	}
 	pr := Price{ServiceHours: r.DurableSec * hoursPerSimSec, DrainBps: r.FairShareBps()}
 	if r.DurableSec > 0 && computeSec < r.DurableSec {
 		pr.IOFrac = (r.DurableSec - computeSec) / r.DurableSec
 	}
 	p.cache[k] = pr
-	return pr, nil
+	return p.estimate(pr), nil
+}
+
+// estimate stamps the pricer's walltime-estimate padding onto a cached
+// base price; the cache stores ground truth so EstimateError can change
+// between Price calls without re-simulating.
+func (p *Pricer) estimate(pr Price) Price {
+	pr.EstimateHours = pr.ServiceHours * (1 + p.EstimateError)
+	return pr
 }
 
 // Shapes reports how many distinct shapes have been priced (i.e. how

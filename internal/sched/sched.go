@@ -76,9 +76,14 @@ func (r JobResult) Slowdown() float64 {
 
 // Pending is a queued job as a Policy sees it.
 type Pending struct {
-	Job          *Job
-	WaitHours    float64 // time in queue so far
-	ServiceHours float64 // priced isolated service time (perfect estimate)
+	Job       *Job
+	WaitHours float64 // time in queue so far
+	// ServiceHours is the walltime estimate the policy plans against:
+	// the pricer's EstimateHours, i.e. the true service time padded by
+	// its EstimateError (a perfect estimate at the zero default). The
+	// simulator still runs jobs for their true service time, so a padded
+	// estimate misleads only the planning.
+	ServiceHours float64
 }
 
 // Active is a running job as a Policy sees it: how many nodes it holds
@@ -438,7 +443,7 @@ func Run(cfg Config, pol Policy, stream []Job) (*Result, error) {
 				if err != nil {
 					return err
 				}
-				v.Queue = append(v.Queue, Pending{Job: j, WaitHours: now - queued[j.ID], ServiceHours: p.ServiceHours})
+				v.Queue = append(v.Queue, Pending{Job: j, WaitHours: now - queued[j.ID], ServiceHours: p.EstimateHours})
 			}
 			for _, rj := range run {
 				v.Running = append(v.Running, Active{Nodes: rj.job.Nodes, EndHours: endOf(rj)})

@@ -313,7 +313,7 @@ func TestDefaultClassesWellFormed(t *testing.T) {
 			t.Fatalf("class %q degenerate: %+v", c.Name, c)
 		}
 		s := c.Spec(m)
-		if s.Nodes != c.Nodes || s.Workload.CheckpointBytes < 64*units.MiB {
+		if s.Nodes != c.Nodes || s.Workload.Shape().BytesPerNode < 64*units.MiB {
 			t.Fatalf("class %q spec malformed: %+v", c.Name, s)
 		}
 		if c.Direct && s.Burst.CapacityBytes != 0 {
@@ -322,5 +322,86 @@ func TestDefaultClassesWellFormed(t *testing.T) {
 		if !c.Direct && s.Burst.CapacityBytes == 0 {
 			t.Fatalf("staged class %q lost its burst preset", c.Name)
 		}
+	}
+}
+
+// TestPricerEstimateError: the padding multiplier stamps EstimateHours
+// on both the first price and cache hits, without disturbing the cached
+// ground truth.
+func TestPricerEstimateError(t *testing.T) {
+	m := cluster.Discoverer()
+	pr := NewPricer(m, 42, 6)
+	spec := DefaultClasses()[0].Spec(m)
+	p0, err := pr.Price(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.EstimateHours != p0.ServiceHours {
+		t.Fatalf("oracle default: estimate %v != service %v", p0.EstimateHours, p0.ServiceHours)
+	}
+	pr.EstimateError = 0.5
+	p1, err := pr.Price(spec) // cache hit: no re-simulation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Shapes() != 1 {
+		t.Fatalf("Shapes() = %d, want the cache hit", pr.Shapes())
+	}
+	if want := p0.ServiceHours * 1.5; math.Abs(p1.EstimateHours-want) > 1e-12 {
+		t.Fatalf("padded estimate %v, want %v", p1.EstimateHours, want)
+	}
+	if p1.ServiceHours != p0.ServiceHours {
+		t.Fatalf("padding disturbed ground truth: %v vs %v", p1.ServiceHours, p0.ServiceHours)
+	}
+}
+
+// TestEstimateErrorShrinksBackfillAdvantage: backfill plans against the
+// padded estimates, so inflating walltime requests must cost backfill
+// opportunities and eat into EASY's mean-wait advantage over FCFS — the
+// classic result that backfill quality degrades with estimate quality.
+func TestEstimateErrorShrinksBackfillAdvantage(t *testing.T) {
+	m := cluster.Discoverer()
+	cfg := Config{Machine: m, Nodes: 32, Seed: 1}
+	shared := NewPricer(m, cfg.Seed, 6)
+	cfg.Pricer = shared
+	s := Synth{Tenants: 8, Users: 4, SpanHours: 400, Seed: 1}
+	mean, err := SubmitMeanForLoad(shared, m, s, 0.9, cfg.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SubmitMeanHours = mean
+	js, err := Synthesize(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := Run(cfg, FCFS{}, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	easyOracle, err := Run(cfg, EASY{}, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.EstimateError = 3.0 // 4× walltime padding, the cache is reused
+	easyPadded, err := Run(cfg, EASY{}, js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easyPadded.Backfills >= easyOracle.Backfills {
+		t.Errorf("padding grew backfills: %d with 4× estimates vs %d with the oracle",
+			easyPadded.Backfills, easyOracle.Backfills)
+	}
+	advOracle := fcfs.MeanWaitHours() - easyOracle.MeanWaitHours()
+	advPadded := fcfs.MeanWaitHours() - easyPadded.MeanWaitHours()
+	if advOracle <= 0 {
+		t.Fatalf("oracle EASY shows no advantage to shrink: %v", advOracle)
+	}
+	if advPadded >= advOracle {
+		t.Errorf("EASY advantage grew under padded estimates: %.3fh vs %.3fh oracle",
+			advPadded, advOracle)
+	}
+	// Padded estimates must not change any job's true service time.
+	if easyPadded.Utilization() <= 0 {
+		t.Errorf("padded run degenerate: utilization %v", easyPadded.Utilization())
 	}
 }

@@ -57,7 +57,7 @@ func (c SizeClass) Spec(m cluster.Machine) jobs.Spec {
 // PFS writer (the contention source). Weights follow the usual
 // many-small/few-wide skew of real batch logs.
 func DefaultClasses() []SizeClass {
-	base := jobs.Workload{
+	base := jobs.BulkWriter{
 		Epochs:          3,
 		CheckpointBytes: 96 * units.MiB,
 		DiagBytes:       32 * units.MiB,
