@@ -10,7 +10,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: check test vet bench bench-compare smoke sweep-smoke clean
+.PHONY: check test vet bench bench-compare profile smoke sweep-smoke clean
 
 check: vet test
 
@@ -42,10 +42,13 @@ bench:
 	$(GO) test -bench 'BenchmarkWorkload$$' -benchtime=1x -run '^$$' . > BENCH_workload.txt
 	cat BENCH_workload.txt
 	$(GO) run ./cmd/benchjson -o BENCH_workload.json < BENCH_workload.txt
+	$(GO) test -bench 'BenchmarkKernelScale$$' -benchtime=1x -run '^$$' . > BENCH_kernel.txt
+	cat BENCH_kernel.txt
+	$(GO) run ./cmd/benchjson -o BENCH_kernel.json < BENCH_kernel.txt
 
 # BENCH_BASELINES lists the committed regression baselines the compare
 # gate runs against, by stem.
-BENCH_BASELINES := BENCH_contention BENCH_fault BENCH_sweep BENCH_interval BENCH_sched BENCH_workload
+BENCH_BASELINES := BENCH_contention BENCH_fault BENCH_sweep BENCH_interval BENCH_sched BENCH_workload BENCH_kernel
 
 # bench-compare is the regression gate: fresh results must stay within
 # 25% of the committed baselines (bench/*.json) on every throughput
@@ -66,6 +69,14 @@ bench-compare: bench
 	for stem in $(BENCH_BASELINES); do \
 		$(GO) run ./cmd/benchjson -compare -threshold 0.25 bench/$$stem.json $$stem.json || exit 1; \
 	done
+
+# profile captures CPU and allocation profiles of the machine-scale
+# kernel benchmark for pprof inspection:
+#   go tool pprof kernel.test cpu.pprof
+#   go tool pprof -alloc_space kernel.test mem.pprof
+profile:
+	$(GO) test -bench 'BenchmarkKernelScale$$' -benchtime=1x -run '^$$' \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -o kernel.test .
 
 # smoke builds and runs every example with its interesting flag
 # combinations so examples cannot silently rot.
@@ -100,4 +111,6 @@ clean:
 	rm -f BENCH_contention.json BENCH_contention.txt BENCH_fault.json BENCH_fault.txt
 	rm -f BENCH_sweep.json BENCH_sweep.txt BENCH_interval.json BENCH_interval.txt
 	rm -f BENCH_sched.json BENCH_sched.txt BENCH_workload.json BENCH_workload.txt
+	rm -f BENCH_kernel.json BENCH_kernel.txt
+	rm -f cpu.pprof mem.pprof kernel.test
 	rm -f figsizing.json campfail.json figinterval.json figsched.json figworkload.json

@@ -18,12 +18,15 @@
 //	go run ./cmd/benchjson -compare -threshold 0.25 bench/BENCH_contention.json BENCH_contention.json
 //
 // It matches the candidate file's benchmarks against the committed
-// baseline and fails (exit 1) when any throughput metric — a metric
-// whose unit name ends in "Bps" (GiBps, _bps, …) — regresses by more
-// than the threshold fraction, or when a baseline benchmark is missing
-// from the candidate. Other metrics (seconds, counts, indices) are
-// reported for context but do not gate: the simulator is deterministic,
-// but they carry no better-is-bigger orientation.
+// baseline and fails (exit 1) when any gated metric — a metric whose
+// unit name ends in "Bps" (GiBps, _bps, …) or in "_ratchet" (explicitly
+// ratcheted better-is-bigger quantities, e.g. host-independent speedup
+// ratios) — regresses by more than the threshold fraction, or when a
+// baseline benchmark is missing from the candidate. Other metrics
+// (seconds, counts, indices) are reported for context but do not gate:
+// the simulator is deterministic, but they carry no better-is-bigger
+// orientation — raw wall-clock rates in particular would gate on runner
+// speed, not on the code.
 package main
 
 import (
@@ -156,11 +159,14 @@ func loadReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// throughputMetric reports whether a metric's unit names a bandwidth
-// (higher is better): GiBps, MiBps, _bps and friends.
+// throughputMetric reports whether a metric gates the comparison —
+// bandwidth units (GiBps, MiBps, _bps and friends, higher is better)
+// and explicitly ratcheted metrics (unit ending in "_ratchet", reserved
+// for host-independent better-is-bigger quantities like simulation
+// speedup ratios).
 func throughputMetric(unit string) bool {
 	u := strings.ToLower(unit)
-	return strings.HasSuffix(u, "bps")
+	return strings.HasSuffix(u, "bps") || strings.HasSuffix(u, "_ratchet")
 }
 
 // compareFiles is the regression gate: every baseline benchmark must be

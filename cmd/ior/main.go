@@ -14,7 +14,6 @@ import (
 	"picmcio/internal/ior"
 	"picmcio/internal/mpisim"
 	"picmcio/internal/posix"
-	"picmcio/internal/sim"
 	"picmcio/internal/units"
 )
 
@@ -56,7 +55,7 @@ func main() {
 		TransferSize: tSize, BlockSize: bSize, ReadBack: *read,
 		TestDir: "/ior",
 	}
-	k := sim.NewKernel()
+	k := m.NewKernel(*nodes)
 	sys, err := m.Build(k, *nodes, 1)
 	if err != nil {
 		fatal(err)

@@ -66,8 +66,9 @@ func getstripe(args []string, count int, size int64) {
 	}
 	path := pfs.Clean(args[0])
 	dir, _ := pfs.Split(path)
-	k := sim.NewKernel()
-	sys, err := cluster.Dardel().Build(k, 1, 1)
+	m := cluster.Dardel()
+	k := m.NewKernel(1)
+	sys, err := m.Build(k, 1, 1)
 	if err != nil {
 		fatal(err)
 	}

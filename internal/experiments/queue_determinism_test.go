@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"picmcio/internal/sim"
+)
+
+// TestGoldenBothQueueImplementations replays the golden-pinned artifacts
+// with every kernel in the process forced onto the calendar event queue.
+// The captures were produced by the binary-heap kernel, so byte identity
+// here is the acceptance proof that the queue choice is invisible to
+// replay: same (at, seq) delivery order, same figures, to the byte.
+func TestGoldenBothQueueImplementations(t *testing.T) {
+	restore := sim.ForceQueueForTesting("calendar")
+	defer restore()
+	for _, c := range []struct {
+		artifact string
+		file     string
+		opts     Options
+	}{
+		{"figfault", "golden_figfault.txt", Options{Seed: 1}},
+		{"figworkload", "golden_figworkload.txt", Options{Seed: 1}},
+	} {
+		t.Run(c.artifact, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, ok := Lookup(c.artifact)
+			if !ok {
+				t.Fatalf("artifact %q missing from catalogue", c.artifact)
+			}
+			got, err := a.Run(c.opts, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Text != string(want) {
+				saved := writeGot(t, "calendar_"+c.file, got.Text)
+				t.Fatalf("calendar-queue output diverged from the heap-kernel golden (saved to %s)", saved)
+			}
+		})
+	}
+}
+
+// TestSchedBothQueueImplementations runs figsched — the whole-machine
+// queue artifact, which exercises jobs, QoS lanes and the lease
+// allocator — under both forced queue implementations and requires the
+// outputs be byte-identical to each other (figsched has no pre-refactor
+// capture, so the invariant is heap-vs-calendar self-consistency).
+func TestSchedBothQueueImplementations(t *testing.T) {
+	run := func(kind string) string {
+		restore := sim.ForceQueueForTesting(kind)
+		defer restore()
+		a, ok := Lookup("figsched")
+		if !ok {
+			t.Fatal("figsched missing from catalogue")
+		}
+		res, err := a.Run(Options{Seed: 1}, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Text
+	}
+	heap := run("heap")
+	cal := run("calendar")
+	if heap != cal {
+		t.Fatalf("figsched diverged between queue implementations:\n--- heap ---\n%s\n--- calendar ---\n%s", heap, cal)
+	}
+}

@@ -134,9 +134,12 @@ type message struct {
 	arrival sim.Time
 }
 
+// recvWait is a posted receive: the arrival completion is a timed
+// broadcast (sim.Completion.CompleteAt), so the matching Send releases
+// the receiver at the message's arrival time.
 type recvWait struct {
-	proc *sim.Proc
-	msg  *message
+	arrived *sim.Completion
+	msg     *message
 }
 
 type collState struct {
@@ -188,6 +191,10 @@ func (c *Comm) collective(contrib any, reduce func(contribs []any) (results []an
 		st.results = results
 		st.wakeAt = p.Now() + c.g.w.cost(len(c.g.ranks), bytes)
 		delete(c.g.colls, id)
+		// Deliberately not a sim.Completion: its broadcast resumes waiters
+		// in arrival order, while ranks leaving a collective must resume in
+		// comm-rank order — same-instant seq ties decide who reserves shared
+		// servers first, and replay bit-identity pins that order.
 		for _, q := range st.procs {
 			if q != nil {
 				c.g.w.K.WakeAt(st.wakeAt, q)
@@ -395,7 +402,7 @@ func (c *Comm) Send(to, tag int, n int64, payload any) {
 	if rw, ok := c.g.recvQ[key]; ok && rw.msg == nil {
 		rw.msg = msg
 		delete(c.g.recvQ, key)
-		c.g.w.K.WakeAt(arrival, rw.proc)
+		rw.arrived.CompleteAt(arrival)
 	} else {
 		c.g.mail[key] = append(c.g.mail[key], msg)
 	}
@@ -420,8 +427,8 @@ func (c *Comm) Recv(from, tag int) (any, int64) {
 	if _, busy := c.g.recvQ[key]; busy {
 		panic("mpisim: two concurrent Recv calls on the same (from, tag)")
 	}
-	rw := &recvWait{proc: p}
+	rw := &recvWait{arrived: sim.NewCompletion(p.Kernel())}
 	c.g.recvQ[key] = rw
-	p.Park()
+	rw.arrived.Wait(p)
 	return rw.msg.payload, rw.msg.bytes
 }

@@ -34,7 +34,6 @@ import (
 
 	"picmcio/internal/cluster"
 	"picmcio/internal/jobs"
-	"picmcio/internal/sim"
 )
 
 // Job is one queued batch job: submission metadata plus the jobs.Spec
@@ -329,7 +328,7 @@ func Run(cfg Config, pol Policy, stream []Job) (*Result, error) {
 	}
 	// The lease substrate: a real cluster.System build, so Allocate/Free
 	// churn exercises the allocator the co-schedule layer uses.
-	sys, err := cfg.Machine.Build(sim.NewKernel(), cfg.Nodes, cfg.Seed)
+	sys, err := cfg.Machine.Build(cfg.Machine.NewKernel(cfg.Nodes), cfg.Nodes, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,34 +1,96 @@
 package sim
 
+// Awaitable is the common face of the kernel's blocking primitives: a
+// condition a process can block on until some other process makes it
+// ready. Completion (one-shot broadcast) and Gauge (counter reaching
+// zero) both implement it, so higher layers can hold "something to wait
+// for" without caring which primitive backs it.
+type Awaitable interface {
+	// Wait parks the calling process until the condition is ready; it
+	// returns immediately if the condition is already ready.
+	Wait(p *Proc)
+	// Ready reports whether Wait would return without blocking.
+	Ready() bool
+}
+
+var (
+	_ Awaitable = (*Completion)(nil)
+	_ Awaitable = (*Gauge)(nil)
+)
+
+// waitQueue is the pooled wait list behind every blocking primitive
+// (Completion, Gauge, Condition). Backing arrays come from the kernel's
+// free pool and return to it after a broadcast, so steady-state
+// park/wake cycles allocate nothing. The pooling is safe because wakes
+// only schedule queue entries — a woken process re-parking into the
+// same primitive gets a fresh array, never the one being drained — and
+// because stale entries for superseded wakes are tombstoned by seq, a
+// recycled array can never resurrect or double-wake a process.
+type waitQueue struct {
+	k  *Kernel
+	ws []*Proc
+}
+
+// park appends p to the wait list and parks it.
+func (w *waitQueue) park(p *Proc) {
+	if w.ws == nil {
+		w.ws = w.k.grabWaiters()
+	}
+	w.ws = append(w.ws, p)
+	p.Park()
+}
+
+// wakeAllAt schedules every current waiter to resume at time t, in wait
+// order, then recycles the backing array.
+func (w *waitQueue) wakeAllAt(t Time) {
+	ws := w.ws
+	if ws == nil {
+		return
+	}
+	w.ws = nil
+	for _, q := range ws {
+		w.k.WakeAt(t, q)
+	}
+	w.k.releaseWaiters(ws)
+}
+
+func (w *waitQueue) len() int { return len(w.ws) }
+
 // Completion is a one-shot broadcast event: processes Wait until some
 // other process calls Complete, after which every current and future Wait
 // returns immediately. It is the handshake primitive for background
 // activities (e.g. a burst-buffer drain) whose consumers need to observe
 // "that batch of work is finished".
 type Completion struct {
-	k       *Kernel
-	done    bool
-	waiters []*Proc
+	done bool
+	w    waitQueue
 }
 
 // NewCompletion returns an incomplete completion bound to kernel k.
-func NewCompletion(k *Kernel) *Completion { return &Completion{k: k} }
+func NewCompletion(k *Kernel) *Completion { return &Completion{w: waitQueue{k: k}} }
+
+// Ready reports whether Complete has been called.
+func (c *Completion) Ready() bool { return c.done }
 
 // Done reports whether Complete has been called.
-func (c *Completion) Done() bool { return c.done }
+//
+// Deprecated: use Ready, the Awaitable form.
+func (c *Completion) Done() bool { return c.Ready() }
 
 // Complete marks the event done and wakes every waiter, in wait order.
 // Completing twice is a no-op.
-func (c *Completion) Complete() {
+func (c *Completion) Complete() { c.CompleteAt(c.w.k.now) }
+
+// CompleteAt marks the event done now but resumes the waiters at time
+// t >= now — a timed broadcast for primitives (collectives, timed
+// handshakes) that decide completion early but release at a computed
+// instant. Completing twice is a no-op.
+func (c *Completion) CompleteAt(t Time) {
 	if c.done {
 		return
 	}
 	c.done = true
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		c.k.Wake(w)
-	}
+	c.w.wakeAllAt(t)
 }
 
 // Wait parks the calling process until Complete; it returns immediately if
@@ -37,27 +99,28 @@ func (c *Completion) Wait(p *Proc) {
 	if c.done {
 		return
 	}
-	c.waiters = append(c.waiters, p)
-	p.Park()
+	c.w.park(p)
 }
 
 // Gauge is a non-negative counter processes can wait to reach zero — the
 // bookkeeping primitive for background write-back tracking: producers Add
 // pending work, the background worker subtracts as it completes, and
-// barrier-style consumers WaitZero.
+// barrier-style consumers Wait.
 type Gauge struct {
-	k       *Kernel
-	v       int64
-	waiters []*Proc
+	v int64
+	w waitQueue
 }
 
 // NewGauge returns a zero gauge bound to kernel k.
-func NewGauge(k *Kernel) *Gauge { return &Gauge{k: k} }
+func NewGauge(k *Kernel) *Gauge { return &Gauge{w: waitQueue{k: k}} }
 
 // Value reports the current gauge value.
 func (g *Gauge) Value() int64 { return g.v }
 
-// Add changes the gauge by d. Dropping to zero wakes all WaitZero waiters;
+// Ready reports whether the gauge is at zero (Wait would not block).
+func (g *Gauge) Ready() bool { return g.v == 0 }
+
+// Add changes the gauge by d. Dropping to zero wakes all waiters;
 // going negative panics (it means release without matching acquire).
 func (g *Gauge) Add(d int64) {
 	g.v += d
@@ -65,21 +128,21 @@ func (g *Gauge) Add(d int64) {
 		panic("sim: gauge went negative")
 	}
 	if g.v == 0 {
-		ws := g.waiters
-		g.waiters = nil
-		for _, w := range ws {
-			g.k.Wake(w)
-		}
+		g.w.wakeAllAt(g.w.k.now)
 	}
 }
 
-// WaitZero parks the calling process until the gauge value is zero; it
+// Wait parks the calling process until the gauge value is zero; it
 // returns immediately when the gauge is already zero. A waiter woken by a
 // zero crossing re-checks, so transient zero→nonzero races while several
 // waiters resume still leave every returned waiter having observed zero.
-func (g *Gauge) WaitZero(p *Proc) {
+func (g *Gauge) Wait(p *Proc) {
 	for g.v != 0 {
-		g.waiters = append(g.waiters, p)
-		p.Park()
+		g.w.park(p)
 	}
 }
+
+// WaitZero parks the calling process until the gauge value is zero.
+//
+// Deprecated: use Wait, the Awaitable form.
+func (g *Gauge) WaitZero(p *Proc) { g.Wait(p) }

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -27,37 +26,53 @@ type Duration = Time
 // Infinity is a time later than any event the kernel will ever schedule.
 const Infinity Time = math.MaxFloat64
 
-// event is a scheduled resumption of a process.
+// event is a scheduled resumption of a process. Only the entry whose seq
+// matches the process's pendingSeq is live; earlier entries for the same
+// process are tombstones that the run loop discards when they pop, so a
+// re-schedule (WakeAt racing a pending wake, a Kill superseding a sleep)
+// can never resume a process twice or out of order.
 type event struct {
 	at  Time
 	seq uint64
 	p   *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
 // Kernel owns the virtual clock and the event queue.
 // The zero value is not usable; create kernels with NewKernel.
 type Kernel struct {
-	now    Time
-	events eventHeap
-	seq    uint64
-	live   int // processes spawned and not yet finished
+	now      Time
+	q        eventQueue
+	seq      uint64
+	live     int  // processes spawned and not yet finished
+	fastPath bool // run-to-completion timer sleeps (see Proc.SleepUntil)
 
-	yield  chan yieldMsg // processes signal the scheduler here
-	panics []any         // panics propagated out of processes
+	yield chan yieldMsg // processes signal the scheduler here
+	stats KernelStats
+
+	waitPool [][]*Proc // recycled wait-list backing arrays (see waitQueue)
 }
+
+// KernelStats counts scheduler work for benchmarks and tuning. All
+// counters are cumulative over the kernel's lifetime.
+type KernelStats struct {
+	// QueueEvents is the number of process resumptions delivered through
+	// the event queue (one channel round-trip each).
+	QueueEvents uint64
+	// FastPathEvents is the number of timer sleeps that ran to completion
+	// in-line: no earlier event existed, so the clock advanced without
+	// touching the queue or handing control to the scheduler.
+	FastPathEvents uint64
+	// Stale is the number of tombstoned queue entries discarded at pop
+	// (superseded wakes, kills overtaking sleeps, finished processes).
+	Stale uint64
+}
+
+// Events reports the total number of process resumptions, however they
+// were delivered.
+func (s KernelStats) Events() uint64 { return s.QueueEvents + s.FastPathEvents }
+
+// Stats returns a snapshot of the kernel's scheduler counters.
+func (k *Kernel) Stats() KernelStats { return k.stats }
 
 type yieldKind int
 
@@ -73,9 +88,69 @@ type yieldMsg struct {
 	val  any // panic value for yieldPanic
 }
 
-// NewKernel returns an empty kernel at virtual time zero.
-func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan yieldMsg)}
+// Option configures a Kernel at construction time.
+type Option func(k *Kernel)
+
+// WithHeapQueue selects the binary-heap event queue (the default):
+// O(log n) per operation, lowest constant factors at small scale.
+func WithHeapQueue() Option {
+	return func(k *Kernel) { k.q = &heapQueue{} }
+}
+
+// WithCalendarQueue selects the calendar event queue: a bucketed time
+// wheel with amortized O(1) scheduling that outpaces the heap once a
+// machine-scale run keeps thousands of events in flight. Replay is
+// bit-identical to the heap — the (at, seq) total order is preserved —
+// so the choice is purely a performance knob.
+func WithCalendarQueue() Option {
+	return func(k *Kernel) { k.q = newCalendarQueue() }
+}
+
+// WithTimerFastPath enables or disables the run-to-completion fast path
+// for pure timer sleeps (enabled by default). Disabling it forces every
+// sleep through the scheduler channel round-trip; the only reason to do
+// that is benchmarking the fast path itself.
+func WithTimerFastPath(on bool) Option {
+	return func(k *Kernel) { k.fastPath = on }
+}
+
+// forcedQueue, when non-nil, overrides the queue choice of every kernel
+// constructed in the process. Cross-implementation determinism suites use
+// it to replay unmodified artifact runners on the non-default queue.
+var forcedQueue func() eventQueue
+
+// ForceQueueForTesting overrides the event-queue implementation of every
+// subsequently constructed kernel — "heap" or "calendar" — and returns a
+// function restoring the previous behaviour. Test-only; not safe for
+// concurrent use with kernel construction.
+func ForceQueueForTesting(kind string) (restore func()) {
+	prev := forcedQueue
+	switch kind {
+	case "heap":
+		forcedQueue = func() eventQueue { return &heapQueue{} }
+	case "calendar":
+		forcedQueue = func() eventQueue { return newCalendarQueue() }
+	default:
+		panic(fmt.Sprintf("sim: ForceQueueForTesting: unknown queue kind %q", kind))
+	}
+	return func() { forcedQueue = prev }
+}
+
+// NewKernel returns an empty kernel at virtual time zero. With no options
+// it uses the binary-heap event queue and the timer fast path.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{
+		yield:    make(chan yieldMsg),
+		q:        &heapQueue{},
+		fastPath: true,
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	if forcedQueue != nil {
+		k.q = forcedQueue()
+	}
+	return k
 }
 
 // Now reports the current virtual time.
@@ -84,12 +159,13 @@ func (k *Kernel) Now() Time { return k.now }
 // Proc is a simulated process. Methods on Proc must only be called from
 // inside the process's own goroutine (the function passed to Spawn).
 type Proc struct {
-	k      *Kernel
-	name   string
-	resume chan struct{}
-	parked bool
-	done   bool
-	killed bool
+	k          *Kernel
+	name       string
+	resume     chan struct{}
+	pendingSeq uint64 // seq of the live queue entry; earlier ones are stale
+	parked     bool
+	done       bool
+	killed     bool
 }
 
 // Name reports the name given at Spawn time.
@@ -138,24 +214,49 @@ func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// schedule queues a resumption of p at time at. The new entry supersedes
+// any still-queued earlier entry for p (which becomes a tombstone) —
+// unless p has been killed, in which case the kill's own entry stays
+// authoritative so nothing can reschedule past a pending death.
 func (k *Kernel) schedule(at Time, p *Proc) {
 	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, p: p})
+	if !p.killed {
+		p.pendingSeq = k.seq
+	}
+	k.q.push(event{at: at, seq: k.seq, p: p})
+}
+
+// popLive pops queue entries until one is live, discarding tombstones:
+// entries for finished processes and entries superseded by a later
+// schedule of the same process.
+func (k *Kernel) popLive() (event, bool) {
+	for {
+		e, ok := k.q.pop()
+		if !ok {
+			return event{}, false
+		}
+		if e.p.done || e.seq != e.p.pendingSeq {
+			k.stats.Stale++
+			continue
+		}
+		return e, true
+	}
 }
 
 // Run drives the simulation until no events remain. It returns the final
 // virtual time. If any process panicked, Run panics with the first such
 // panic value after the event queue drains or immediately on detection.
 func (k *Kernel) Run() Time {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(event)
-		if e.p.done {
-			continue // stale wake of a finished process
+	for {
+		e, ok := k.popLive()
+		if !ok {
+			break
 		}
 		if e.at < k.now {
 			panic("sim: event queue went backwards")
 		}
 		k.now = e.at
+		k.stats.QueueEvents++
 		e.p.parked = false
 		e.p.resume <- struct{}{}
 		msg := <-k.yield
@@ -187,12 +288,29 @@ func (p *Proc) Sleep(d Duration) {
 // SleepUntil suspends the process until virtual time t. Times in the past
 // are treated as "now" (the process still yields, giving other processes
 // scheduled at the same instant a chance to run in seq order).
+//
+// Fast path: when no pending event is due at or before t, nothing can run
+// before this process resumes — only the running process can create new
+// events, and kills or wakes can only be issued by running processes. The
+// sleep therefore runs to completion in-line: the clock jumps to t and the
+// process keeps going, with no queue traffic and no channel round-trip.
+// The strict `> t` comparison keeps replay bit-identical: an event at
+// exactly t was scheduled earlier, so it holds a smaller seq and must run
+// first, which only the slow path can arrange.
 func (p *Proc) SleepUntil(t Time) {
-	if t < p.k.now {
-		t = p.k.now
+	k := p.k
+	if t < k.now {
+		t = k.now
 	}
-	p.k.schedule(t, p)
-	p.k.yield <- yieldMsg{kind: yieldSleep}
+	if k.fastPath && !p.killed {
+		if at, ok := k.q.peekAt(); !ok || at > t {
+			k.now = t
+			k.stats.FastPathEvents++
+			return
+		}
+	}
+	k.schedule(t, p)
+	k.yield <- yieldMsg{kind: yieldSleep}
 	p.await()
 }
 
@@ -228,59 +346,80 @@ func (p *Proc) Killed() bool { return p.killed }
 // deferred functions) and counts as finished, never as a panic. This is
 // the fault-injection primitive — a victim blocked in a sleep, a resource
 // wait, or a park dies at that point in virtual time. Killing a finished
-// or already-killed process is a no-op. Any event still queued for q is
-// discarded when it pops (finished processes are skipped), and a Wake of
-// a killed process is likewise harmless.
+// or already-killed process is a no-op. The kill supersedes any pending
+// scheduled resumption of q (the stale entry is tombstoned), and a Wake
+// of a killed process is likewise harmless.
 func (k *Kernel) Kill(q *Proc) {
 	if q == nil || q.done || q.killed {
 		return
 	}
-	q.killed = true
+	// Order matters: schedule first so the kill takes q's pendingSeq slot,
+	// then set killed so no later schedule can take it back.
 	k.schedule(k.now, q)
+	q.killed = true
 }
 
 // Wake schedules parked process q to resume at the current virtual time.
 // It must be called from within a running process or before Run.
 func (k *Kernel) Wake(q *Proc) { k.WakeAt(k.now, q) }
 
-// WakeAt schedules parked process q to resume at time t >= now.
+// WakeAt schedules parked process q to resume at time t >= now. Re-waking
+// a process whose wake is still pending moves the resumption to t — the
+// previous entry is tombstoned, never delivered — so a second wake cannot
+// make the process resume twice. Waking a finished or killed process is a
+// no-op.
 func (k *Kernel) WakeAt(t Time, q *Proc) {
 	if t < k.now {
 		t = k.now
 	}
-	if q.done {
+	if q == nil || q.done || q.killed {
 		return
 	}
 	k.schedule(t, q)
 }
 
+// grabWaiters hands out a recycled wait-list backing array, or a fresh
+// one when the pool is empty.
+func (k *Kernel) grabWaiters() []*Proc {
+	if n := len(k.waitPool); n > 0 {
+		ws := k.waitPool[n-1]
+		k.waitPool = k.waitPool[:n-1]
+		return ws
+	}
+	return make([]*Proc, 0, 4)
+}
+
+// releaseWaiters returns a drained wait list to the pool. The caller must
+// have forgotten its own reference: a recycled array may be handed to any
+// other primitive on this kernel.
+func (k *Kernel) releaseWaiters(ws []*Proc) {
+	for i := range ws {
+		ws[i] = nil
+	}
+	k.waitPool = append(k.waitPool, ws[:0])
+}
+
 // WaitGroup-style helper: Condition is a simple broadcast condition for
 // processes. Waiters park; Broadcast wakes all current waiters.
 type Condition struct {
-	k       *Kernel
-	waiters []*Proc
+	w waitQueue
 }
 
 // NewCondition returns a condition bound to kernel k.
-func NewCondition(k *Kernel) *Condition { return &Condition{k: k} }
+func NewCondition(k *Kernel) *Condition { return &Condition{w: waitQueue{k: k}} }
 
 // Wait parks the calling process until the next Broadcast.
 func (c *Condition) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
-	p.Park()
+	c.w.park(p)
 }
 
 // Broadcast wakes every currently waiting process, in wait order.
 func (c *Condition) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		c.k.Wake(w)
-	}
+	c.w.wakeAllAt(c.w.k.now)
 }
 
 // Len reports the number of parked waiters.
-func (c *Condition) Len() int { return len(c.waiters) }
+func (c *Condition) Len() int { return c.w.len() }
 
 // SortProcsByName sorts a slice of processes by name; useful for
 // deterministic bookkeeping in higher layers.

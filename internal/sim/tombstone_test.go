@@ -1,0 +1,225 @@
+package sim
+
+import "testing"
+
+// TestWakeAtSupersedesPendingWake is the regression test for the stale
+// heap entry bug: a WakeAt earlier than a pending scheduled resumption
+// used to leave the later entry in the queue, and it re-fired — resuming
+// the process a second time without anyone waking it. With tombstoning,
+// the latest wake is the only one delivered.
+func TestWakeAtSupersedesPendingWake(t *testing.T) {
+	k := NewKernel()
+	var resumes []Time
+	sleeper := k.Spawn("sleeper", func(p *Proc) {
+		p.Park() // woken by the waker below
+		resumes = append(resumes, p.Now())
+		p.Park() // must stay parked until the t=20 wake, not the stale t=10 entry
+		resumes = append(resumes, p.Now())
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Kernel().WakeAt(10, sleeper) // pending resumption at 10...
+		p.Kernel().WakeAt(2, sleeper)  // ...superseded by an earlier one
+		p.Sleep(20)
+		p.Kernel().Wake(sleeper) // the only legitimate second wake, at 20
+	})
+	k.Run()
+	if len(resumes) != 2 || resumes[0] != 2 || resumes[1] != 20 {
+		t.Fatalf("resumes = %v, want [2 20] (stale entry at 10 must not re-fire)", resumes)
+	}
+}
+
+// TestWakeAtLaterSupersedes is the mirror case: re-waking at a later
+// time moves the pending resumption instead of delivering both.
+func TestWakeAtLaterSupersedes(t *testing.T) {
+	k := NewKernel()
+	var resumes []Time
+	sleeper := k.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		resumes = append(resumes, p.Now())
+	})
+	k.Spawn("waker", func(p *Proc) {
+		p.Kernel().WakeAt(3, sleeper)
+		p.Kernel().WakeAt(7, sleeper)
+	})
+	k.Run()
+	if len(resumes) != 1 || resumes[0] != 7 {
+		t.Fatalf("resumes = %v, want [7] (latest wake wins, delivered once)", resumes)
+	}
+}
+
+// TestKillSupersedesPendingSleep kills a victim whose sleep resumption is
+// already queued: the kill must land at the kill time, and the victim's
+// own (now stale) sleep event must neither resume it nor advance the
+// clock past the rest of the run.
+func TestKillSupersedesPendingSleep(t *testing.T) {
+	k := NewKernel()
+	resumed := false
+	var diedAt Time
+	victim := k.Spawn("victim", func(p *Proc) {
+		defer func() { diedAt = p.Now() }()
+		p.Sleep(1000)
+		resumed = true
+	})
+	k.Spawn("killer", func(p *Proc) {
+		p.Sleep(4)
+		p.Kernel().Kill(victim)
+	})
+	if end := k.Run(); end != 4 {
+		t.Fatalf("run ended at %v, want 4", end)
+	}
+	if resumed || diedAt != 4 {
+		t.Fatalf("victim resumed=%v diedAt=%v, want death at 4 without resuming", resumed, diedAt)
+	}
+}
+
+// TestSelfKillThenSleep has a process kill itself while running: the
+// pending kill must not be overtaken by the subsequent sleep, and the
+// process must die at the kill instant.
+func TestSelfKillThenSleep(t *testing.T) {
+	k := NewKernel()
+	var diedAt Time
+	resumed := false
+	k.Spawn("suicidal", func(p *Proc) {
+		defer func() { diedAt = p.Now() }()
+		p.Sleep(2)
+		p.Kernel().Kill(p) // takes effect at the next suspension
+		p.Sleep(50)
+		resumed = true
+	})
+	end := k.Run()
+	if resumed {
+		t.Fatal("self-killed process resumed past its sleep")
+	}
+	if diedAt != 2 || end != 2 {
+		t.Fatalf("diedAt=%v end=%v, want both 2 (kill beats the t=52 sleep entry)", diedAt, end)
+	}
+}
+
+// TestKillDuringPooledWait parks several waiters on a Completion, kills
+// some of them, then completes — and then reuses the (recycled) wait
+// list for a second cycle. Dead procs must never resurrect, and the
+// recycled backing array must not leak wakes between primitives.
+func TestKillDuringPooledWait(t *testing.T) {
+	k := NewKernel()
+	c1 := NewCompletion(k)
+	c2 := NewCompletion(k)
+	var woke1, woke2 []string
+	victims := make([]*Proc, 0, 2)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		name := name
+		p := k.Spawn(name, func(p *Proc) {
+			c1.Wait(p)
+			woke1 = append(woke1, p.Name())
+			c2.Wait(p)
+			woke2 = append(woke2, p.Name())
+		})
+		if name == "b" || name == "d" {
+			victims = append(victims, p)
+		}
+	}
+	k.Spawn("driver", func(p *Proc) {
+		p.Sleep(1)
+		for _, v := range victims {
+			p.Kernel().Kill(v)
+		}
+		p.Sleep(1)
+		c1.Complete() // wait list recycles into the kernel pool here
+		p.Sleep(1)
+		c2.Complete() // second cycle runs on a recycled array
+	})
+	k.Run()
+	if got, want := len(woke1), 2; got != want {
+		t.Fatalf("first cycle woke %v, want the 2 surviving procs", woke1)
+	}
+	for _, n := range woke1 {
+		if n == "b" || n == "d" {
+			t.Fatalf("killed proc %q resurrected through the pooled wait list", n)
+		}
+	}
+	if len(woke2) != 2 {
+		t.Fatalf("second cycle woke %v, want the same 2 survivors", woke2)
+	}
+}
+
+// TestKillDuringFastPathSleepStorm interleaves a killer with a victim
+// running mostly fast-path (run-to-completion) sleeps: the kill must
+// still land at the next suspension after it is issued, proving the fast
+// path checks for a pending death and no recycled event resurrects the
+// victim afterwards.
+func TestKillDuringFastPathSleepStorm(t *testing.T) {
+	k := NewKernel()
+	steps := 0
+	victim := k.Spawn("victim", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Sleep(0.5)
+			steps++
+		}
+	})
+	k.Spawn("killer", func(p *Proc) {
+		p.Sleep(10.25)
+		p.Kernel().Kill(victim)
+	})
+	end := k.Run()
+	if end != 10.25 {
+		t.Fatalf("run ended at %v, want 10.25", end)
+	}
+	// The victim completed the sleeps that ended at or before 10.25
+	// (t=0.5 … 10) and died inside the next one.
+	if steps != 20 {
+		t.Fatalf("victim completed %d steps, want 20", steps)
+	}
+}
+
+// TestStatsCounters sanity-checks the scheduler counters: a pure timer
+// workload should resume mostly through the fast path, and superseded
+// wakes should surface as stale tombstones.
+func TestStatsCounters(t *testing.T) {
+	k := NewKernel()
+	sleeper := k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+		}
+	})
+	_ = sleeper
+	k.Run()
+	st := k.Stats()
+	if st.FastPathEvents < 90 {
+		t.Fatalf("FastPathEvents = %d, want nearly all of the 100 sleeps", st.FastPathEvents)
+	}
+	if st.Events() != st.QueueEvents+st.FastPathEvents {
+		t.Fatalf("Events() = %d, want QueueEvents+FastPathEvents", st.Events())
+	}
+
+	k2 := NewKernel()
+	parked := k2.Spawn("parked", func(p *Proc) { p.Park() })
+	k2.Spawn("waker", func(p *Proc) {
+		p.Kernel().WakeAt(5, parked)
+		p.Kernel().WakeAt(1, parked)
+	})
+	k2.Run()
+	if st2 := k2.Stats(); st2.Stale == 0 {
+		t.Fatalf("Stale = 0, want the superseded wake counted; stats %+v", st2)
+	}
+}
+
+// TestFastPathDisabled checks WithTimerFastPath(false) routes every sleep
+// through the queue, with identical timing.
+func TestFastPathDisabled(t *testing.T) {
+	k := NewKernel(WithTimerFastPath(false))
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(1)
+		}
+	})
+	end := k.Run()
+	if end != 10 {
+		t.Fatalf("end = %v, want 10", end)
+	}
+	st := k.Stats()
+	if st.FastPathEvents != 0 {
+		t.Fatalf("FastPathEvents = %d with the fast path disabled", st.FastPathEvents)
+	}
+	if st.QueueEvents == 0 {
+		t.Fatal("QueueEvents = 0: sleeps must go through the queue")
+	}
+}
