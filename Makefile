@@ -36,7 +36,7 @@ bench:
 	$(GO) test -bench 'BenchmarkInterval$$' -benchtime=1x -run '^$$' . > BENCH_interval.txt
 	cat BENCH_interval.txt
 	$(GO) run ./cmd/benchjson -o BENCH_interval.json < BENCH_interval.txt
-	$(GO) test -bench 'BenchmarkSched$$' -benchtime=1x -run '^$$' . > BENCH_sched.txt
+	$(GO) test -bench 'BenchmarkSched$$|BenchmarkSchedScale$$' -benchtime=1x -run '^$$' -timeout 30m . > BENCH_sched.txt
 	cat BENCH_sched.txt
 	$(GO) run ./cmd/benchjson -o BENCH_sched.json < BENCH_sched.txt
 	$(GO) test -bench 'BenchmarkWorkload$$' -benchtime=1x -run '^$$' . > BENCH_workload.txt
@@ -71,12 +71,16 @@ bench-compare: bench
 	done
 
 # profile captures CPU and allocation profiles of the machine-scale
-# kernel benchmark for pprof inspection:
+# benchmarks for pprof inspection:
 #   go tool pprof kernel.test cpu.pprof
 #   go tool pprof -alloc_space kernel.test mem.pprof
+#   go tool pprof sched.test sched_cpu.pprof
+#   go tool pprof -alloc_space sched.test sched_mem.pprof
 profile:
 	$(GO) test -bench 'BenchmarkKernelScale$$' -benchtime=1x -run '^$$' \
 		-cpuprofile cpu.pprof -memprofile mem.pprof -o kernel.test .
+	$(GO) test -bench 'BenchmarkSchedScale$$' -benchtime=1x -run '^$$' -timeout 30m \
+		-cpuprofile sched_cpu.pprof -memprofile sched_mem.pprof -o sched.test .
 
 # smoke builds and runs every example with its interesting flag
 # combinations so examples cannot silently rot.
@@ -91,6 +95,7 @@ smoke:
 	$(GO) run ./examples/checkpoint-restart -burst -auto-interval
 	$(GO) run ./examples/multi-job
 	$(GO) run ./examples/schedtrace
+	$(GO) run ./examples/schedtrace -nodes 256 -jobs 1000
 
 # sweep-smoke runs the sweep-native artifacts at tiny scale and writes
 # their machine-readable JSON; CI archives the outputs. The -optimal
@@ -112,5 +117,5 @@ clean:
 	rm -f BENCH_sweep.json BENCH_sweep.txt BENCH_interval.json BENCH_interval.txt
 	rm -f BENCH_sched.json BENCH_sched.txt BENCH_workload.json BENCH_workload.txt
 	rm -f BENCH_kernel.json BENCH_kernel.txt
-	rm -f cpu.pprof mem.pprof kernel.test
+	rm -f cpu.pprof mem.pprof kernel.test sched_cpu.pprof sched_mem.pprof sched.test
 	rm -f figsizing.json campfail.json figinterval.json figsched.json figworkload.json

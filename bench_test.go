@@ -12,6 +12,7 @@ package picmcio
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -626,6 +627,103 @@ func BenchmarkSched(b *testing.B) {
 		b.ReportMetric(float64(maxDepth), "peak_queue_depth")
 		b.ReportMetric(res.Utilization(), "utilization")
 		b.ReportMetric(totalBytes/(res.Makespan*3600)/(1<<20), "delivered_MiBps")
+	}
+}
+
+// schedScaleStream synthesizes the whole-machine scheduler workload:
+// `jobs` submissions from 8 tenants × 4 users offered at 2.5× the
+// partition's node-hour capacity, so the backlog grows to roughly
+// (1 - 1/2.5) of the trace — thousands to tens of thousands of queued
+// jobs, the regime ROADMAP item 1 calls whole-machine queues. The
+// machine is the Dardel preset with its node ceiling raised to the
+// partition size; its calendar-queue kernel preset applies to pricing
+// probes automatically.
+func schedScaleStream(nodes, jobCount int) (cluster.Machine, *sched.Pricer, []sched.Job, error) {
+	m := cluster.Dardel()
+	if nodes > m.MaxNodes {
+		m.MaxNodes = nodes
+	}
+	pr := sched.NewPricer(m, 1, 6)
+	s := sched.Synth{Tenants: 8, Users: 4, Seed: 1}
+	mean, err := sched.SubmitMeanForLoad(pr, m, s, 2.5, nodes)
+	if err != nil {
+		return m, nil, nil, err
+	}
+	s.SubmitMeanHours = mean
+	s.SpanHours = float64(jobCount) * mean / float64(8*4)
+	stream, err := sched.Synthesize(m, s)
+	if err != nil {
+		return m, nil, nil, err
+	}
+	// Shape pricing is shared, prewarmed state — both loops must pay
+	// event-loop costs, not first-sight simulation costs.
+	if err := pr.Prewarm(stream, 4); err != nil {
+		return m, nil, nil, err
+	}
+	return m, pr, stream, nil
+}
+
+// BenchmarkSchedScale is the scheduler's whole-machine throughput
+// record: 1024- and 4096-node partitions under multi-thousand-job
+// backlogs, each stream replayed through the retained naive event loop
+// and the indexed one, with the Results asserted byte-identical before
+// any rate is reported. Raw scheduled-jobs/sec metrics are
+// host-dependent context; the gated metric is the 4096-node FCFS
+// speedup ratio — host-independent, both sides measured in the same
+// process — which the bench-compare gate ratchets and the acceptance
+// floor below pins at ≥ 5×. EASY backfill runs at the 1024-node tier:
+// its per-decision queue sort dominates both loops equally at 4096
+// nodes, which would dilute the ratio the ratchet exists to protect.
+func BenchmarkSchedScale(b *testing.B) {
+	cases := []struct {
+		nodes, jobs int
+		policy      sched.Policy
+		ratchet     bool
+	}{
+		{1024, 5000, sched.FCFS{}, false},
+		{1024, 5000, sched.EASY{}, false},
+		{4096, 20000, sched.FCFS{}, true},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			m, pr, stream, err := schedScaleStream(c.nodes, c.jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := sched.Config{Machine: m, Nodes: c.nodes, Seed: 1, Pricer: pr}
+			restore := sched.ForceNaiveLoopForTesting()
+			start := time.Now()
+			naive, err := sched.Run(cfg, c.policy, stream)
+			naiveWall := time.Since(start).Seconds()
+			restore()
+			if err != nil {
+				b.Fatal(err)
+			}
+			start = time.Now()
+			indexed, err := sched.Run(cfg, c.policy, stream)
+			indexedWall := time.Since(start).Seconds()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !reflect.DeepEqual(naive, indexed) {
+				b.Fatalf("%d nodes %s: naive and indexed loops diverged", c.nodes, c.policy.Name())
+			}
+			if len(indexed.Jobs) != len(stream) {
+				b.Fatalf("%d nodes %s: scheduled %d of %d jobs", c.nodes, c.policy.Name(), len(indexed.Jobs), len(stream))
+			}
+			rate := float64(len(indexed.Jobs)) / indexedWall
+			speedup := naiveWall / indexedWall
+			tag := fmt.Sprintf("%d_%s", c.nodes, c.policy.Name())
+			b.ReportMetric(rate/1e3, "kjobs_per_s_"+tag)
+			if c.ratchet {
+				if speedup < 5 {
+					b.Fatalf("%d nodes %s: indexed loop is %.1f× the naive loop, acceptance floor is 5×", c.nodes, c.policy.Name(), speedup)
+				}
+				b.ReportMetric(speedup, "speedup_4096_ratchet")
+			} else {
+				b.ReportMetric(speedup, "speedup_"+tag+"_x")
+			}
+		}
 	}
 }
 

@@ -100,6 +100,15 @@ func (o Options) FigSched() (sweep.Table, error) {
 			if err != nil {
 				return sweep.Table{}, fmt.Errorf("figsched synthesize %s load %g: %w", m.Name, load, err)
 			}
+			// Pre-price every distinct shape on the sweep worker pool: the
+			// parallel policy trials below then only read the cache, and the
+			// wall-clock cost of the probe simulations amortizes across the
+			// load axis (shapes repeat between loads on the same machine).
+			// Prewarm's cache is byte-identical to lazy serial pricing, so
+			// the rendered artifact is unchanged.
+			if err := pr.Prewarm(stream, o.Parallel); err != nil {
+				return sweep.Table{}, fmt.Errorf("figsched prewarm %s load %g: %w", m.Name, load, err)
+			}
 			cells[[2]int{mi, li}] = &schedCell{machine: m, pricer: pr, stream: stream, span: s.SpanHours}
 		}
 	}

@@ -1,0 +1,102 @@
+package sched
+
+import "math"
+
+// endHeap is the indexed event loop's completion index: a binary
+// min-heap of predicted completion times with lazy invalidation.
+// Entries are snapshots (endH, epoch) of a running job's stretch
+// state; a snapshot whose epoch no longer matches its job's is stale
+// and silently discarded when it surfaces at the top.
+//
+// Invalidation discipline: a job's epoch bumps on retirement (its
+// snapshot strands and is discarded on a later pop) and on every
+// restretch that moved the contention factor. A moved factor re-keys
+// the whole running set, and the engine rebuilds the heap in one
+// O(run) heapify rather than re-pushing per job — stale keys are not
+// one-sided bounds (contention both rises at starts and falls at
+// completions, so a stale endH can sit on either side of the true
+// one), which rules out the pop-recompute-repush shortcut, and a
+// heapify costs less than run heap pushes anyway. Between rebuilds
+// slowdowns are constant, so every live snapshot is exact and min()
+// is the true earliest completion.
+//
+// The rebuild also bounds memory for free: stale entries never
+// accumulate past the retirements since the last restretch.
+type endHeap struct {
+	es []endEntry
+}
+
+type endEntry struct {
+	endH  float64
+	rj    *running
+	epoch uint64
+}
+
+// push snapshots rj's current predicted completion.
+func (h *endHeap) push(rj *running) {
+	h.es = append(h.es, endEntry{endH: rj.endOf(), rj: rj, epoch: rj.epoch})
+	h.up(len(h.es) - 1)
+}
+
+// min discards stale snapshots from the top and returns the earliest
+// live predicted completion, +Inf when nothing is running.
+func (h *endHeap) min() float64 {
+	for len(h.es) > 0 {
+		if top := h.es[0]; top.epoch == top.rj.epoch {
+			return top.endH
+		}
+		h.popTop()
+	}
+	return math.Inf(1)
+}
+
+// rebuild re-keys the heap to exactly the running set's current
+// snapshots in one heapify.
+func (h *endHeap) rebuild(run []*running) {
+	h.es = h.es[:0]
+	for _, rj := range run {
+		h.es = append(h.es, endEntry{endH: rj.endOf(), rj: rj, epoch: rj.epoch})
+	}
+	for i := len(h.es)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *endHeap) popTop() {
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es = h.es[:n]
+	if n > 0 {
+		h.down(0)
+	}
+}
+
+func (h *endHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.es[p].endH <= h.es[i].endH {
+			break
+		}
+		h.es[p], h.es[i] = h.es[i], h.es[p]
+		i = p
+	}
+}
+
+func (h *endHeap) down(i int) {
+	n := len(h.es)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.es[l].endH < h.es[least].endH {
+			least = l
+		}
+		if r < n && h.es[r].endH < h.es[least].endH {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.es[i], h.es[least] = h.es[least], h.es[i]
+		i = least
+	}
+}

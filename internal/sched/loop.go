@@ -1,0 +1,487 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"picmcio/internal/cluster"
+)
+
+// This file is the DES event loop behind Run, in two structures that
+// share every piece of event arithmetic:
+//
+//   - The indexed loop (the default): next-completion lookup through a
+//     lazily invalidated min-heap (heap.go), admission-time prices and
+//     submit times carried on queue entries, reused QueueView buffers,
+//     tombstoned O(1)-amortized queue removal, and an O(1) veto of
+//     provably idle decision points for prefix-order policies.
+//   - The naive loop (ForceNaiveLoopForTesting): the pre-index
+//     structure — O(run) completion scans, per-pass shape pricing
+//     through the memo map, fresh view allocations, splice queue
+//     removal — kept as the differential oracle and the speedup
+//     baseline for BenchmarkSchedScale.
+//
+// Because the shared core performs the exact same float operations in
+// the exact same order for both structures, the two loops produce
+// byte-identical Results; the differential suite enforces that on
+// randomized streams.
+//
+// Remaining work is accounted in stretched virtual time: a running job
+// carries its last touch point (touchH, remH, slowdown) and between
+// touches
+//
+//	remaining(t) = remH - (t-touchH)/slowdown
+//	endOf        = touchH + remH*slowdown   (constant between touches)
+//
+// so the clock can jump event-to-event without walking the running set
+// (the old advance-everyone-every-event pass), and a job is touched —
+// its elapsed time folded into remH — only when its slowdown is about
+// to change. Slowdowns are a pure function of each job's I/O fraction
+// and the shared contention factor `over`, and `over` moves only when
+// aggregate drain demand does, so the engine maintains demand
+// incrementally on start/complete and restretches only when `over`
+// actually changed.
+
+// forceNaiveLoop routes Run through the retained naive event loop.
+var forceNaiveLoop bool
+
+// ForceNaiveLoopForTesting routes every subsequent Run through the
+// retained naive event loop — the pre-index structure (O(run)
+// completion scans, per-pass shape pricing, fresh view allocations,
+// splice queue removal) sharing the indexed loop's arithmetic — and
+// returns a function restoring the previous behaviour. The
+// differential suite and BenchmarkSchedScale use it to prove the
+// indexed loop byte-identical and to measure its speedup. Test-only;
+// not safe for concurrent use with Run.
+func ForceNaiveLoopForTesting() (restore func()) {
+	prev := forceNaiveLoop
+	forceNaiveLoop = true
+	return func() { forceNaiveLoop = prev }
+}
+
+// PrefixPolicy is an optional Policy refinement for strict
+// in-queue-order policies: PrefixBlocked(free, headNodes) reports that
+// a Pick under `free` free nodes with a queue head needing `headNodes`
+// is guaranteed to start nothing. The indexed event loop uses it to
+// skip queue-view construction entirely on events that cannot change
+// the schedule — the common case for a deep backlog behind a blocked
+// FCFS head. A policy that can start later jobs around a blocked head
+// (EASY backfill) must not implement it.
+type PrefixPolicy interface {
+	Policy
+	PrefixBlocked(free, headNodes int) bool
+}
+
+// qent is one queued job's admission record. The indexed loop prices
+// the job once on admission and tombstones the entry on start; the
+// naive loop re-prices per decision point through the memo map and
+// splices entries out, leaving dead always false.
+type qent struct {
+	job     *Job
+	submitH float64
+	price   Price
+	dead    bool
+}
+
+// running is one admitted job's live state under stretched virtual
+// time (see the file comment for the accounting).
+type running struct {
+	job   *Job
+	res   *JobResult
+	alloc *cluster.Allocation
+
+	touchH   float64 // clock of the last touch
+	remH     float64 // service time still owed at nominal rate, as of touchH
+	slowdown float64
+	drainBps float64
+	ioFrac   float64
+	// epoch versions the (touchH, remH, slowdown) triple; completion-heap
+	// entries snapshot it, and a snapshot whose epoch no longer matches is
+	// stale and discarded on pop (lazy invalidation).
+	epoch uint64
+}
+
+// endOf is the predicted completion under the current stretch.
+func (rj *running) endOf() float64 { return rj.touchH + rj.remH*rj.slowdown }
+
+// touch folds elapsed time into the job's remaining work at its current
+// rate, so the slowdown can change at `now` without rewriting history.
+func (rj *running) touch(now float64) {
+	rj.remH -= (now - rj.touchH) / rj.slowdown
+	if rj.remH < 0 {
+		rj.remH = 0
+	}
+	rj.touchH = now
+}
+
+// engine is one Run's event-loop state.
+type engine struct {
+	cfg Config
+	pol Policy
+	pr  *Pricer
+	sys *cluster.System
+	res *Result
+
+	arrivals []*Job
+	next     int // next arrival index
+
+	queue []*qent
+	live  int             // non-tombstoned queue entries
+	qued  map[int]float64 // naive loop's job ID -> submit time bookkeeping
+
+	run      []*running // running set in start order
+	demand   float64    // aggregate drain demand, maintained incrementally
+	lastOver float64    // contention factor of the last restretch
+	now      float64
+	busy     int
+
+	naive  bool
+	prefix PrefixPolicy // non-nil when pol can veto idle passes in O(1)
+
+	heap endHeap // the indexed loop's completion index
+
+	// Reused QueueView backing buffers (indexed loop). viewSlots maps
+	// view queue indices back to e.queue slots across tombstones.
+	view      QueueView
+	viewSlots []int
+}
+
+// sample records the busy-node step function at `now`. Consecutive
+// samples with unchanged Busy coalesce (they are one step), and with
+// TimelineEvery > 0 later steps inside a window fold into the window's
+// retained sample.
+func (e *engine) sample() {
+	tl := e.res.Timeline
+	n := len(tl)
+	if n > 0 && tl[n-1].Hours == e.now {
+		tl[n-1].Busy = e.busy
+		if n > 1 && tl[n-2].Busy == e.busy {
+			e.res.Timeline = tl[:n-1] // step collapsed into its predecessor
+		}
+		return
+	}
+	if n > 0 && tl[n-1].Busy == e.busy {
+		return // busy unchanged since the last step: not a new step
+	}
+	if n > 1 && e.cfg.TimelineEvery > 0 && e.now-tl[n-1].Hours < e.cfg.TimelineEvery {
+		tl[n-1].Busy = e.busy // downsample: fold into the window's sample
+		if tl[n-2].Busy == e.busy {
+			e.res.Timeline = tl[:n-1]
+		}
+		return
+	}
+	e.res.Timeline = append(tl, UtilSample{Hours: e.now, Busy: e.busy})
+}
+
+// overOf is the contention factor for the current aggregate demand:
+// how far the running set oversubscribes the shared PFS write-back.
+func (e *engine) overOf() float64 {
+	if e.cfg.PFSBandwidth > 0 && e.demand > e.cfg.PFSBandwidth {
+		return e.demand / e.cfg.PFSBandwidth
+	}
+	return 1
+}
+
+// restretch re-evaluates the processor-sharing contention model after
+// the running set changed. Each slowdown is a pure function of (ioFrac,
+// over), so when `over` is unchanged every rewrite would reproduce the
+// value the job already carries — the pass is skipped entirely and no
+// job is touched. When `over` moved, every running job is touched at
+// `now`, re-stretched, and (indexed loop) the completion heap is
+// rebuilt in one O(run) heapify: stale keys are not one-sided bounds
+// when contention can both rise and fall, so re-keying must be eager.
+func (e *engine) restretch() {
+	over := e.overOf()
+	if over == e.lastOver {
+		return
+	}
+	e.lastOver = over
+	for _, rj := range e.run {
+		rj.touch(e.now)
+		rj.slowdown = 1 + rj.ioFrac*(over-1)
+		rj.epoch++
+	}
+	if !e.naive {
+		e.heap.rebuild(e.run)
+	}
+}
+
+// nextEnd is the earliest predicted completion: a heap peek for the
+// indexed loop, a min scan over the running set for the naive one.
+func (e *engine) nextEnd() float64 {
+	if !e.naive {
+		return e.heap.min()
+	}
+	tEnd := math.Inf(1)
+	for _, rj := range e.run {
+		if t := rj.endOf(); t < tEnd {
+			tEnd = t
+		}
+	}
+	return tEnd
+}
+
+// admit starts job j now: lease its nodes, open its result, and join
+// the running set. The start-time slowdown anticipates the pass-end
+// restretch: when this batch of starts leaves `over` unchanged the
+// restretch is skipped, so the value must already be what the rewrite
+// would produce.
+func (e *engine) admit(j *Job, submitH float64, p Price, backfilled bool) error {
+	alloc, err := e.sys.Allocate(j.Nodes)
+	if err != nil {
+		return fmt.Errorf("sched: policy %s overcommitted: %w", e.pol.Name(), err)
+	}
+	e.res.LeaseOps++
+	jr := &JobResult{
+		Job:          *j,
+		StartHours:   e.now,
+		WaitHours:    e.now - submitH,
+		ServiceHours: p.ServiceHours,
+		Backfilled:   backfilled,
+	}
+	if backfilled {
+		e.res.Backfills++
+	}
+	rj := &running{
+		job: j, res: jr, alloc: alloc,
+		touchH:   e.now,
+		remH:     p.ServiceHours,
+		slowdown: 1 + p.IOFrac*(e.lastOver-1),
+		drainBps: p.DrainBps,
+		ioFrac:   p.IOFrac,
+	}
+	e.run = append(e.run, rj)
+	e.demand += p.DrainBps
+	e.busy += j.Nodes
+	if !e.naive {
+		e.heap.push(rj)
+	}
+	return nil
+}
+
+// completeAt retires every running job predicted to finish within a
+// nano-hour of tEnd. tEnd came from nextEnd, so the argmin job always
+// qualifies and every completion event retires at least one job; the
+// slack merges near-simultaneous finishes into one deterministic
+// instant. Retirement runs in start order (the running list's), which
+// pins the allocator's Free sequence.
+func (e *engine) completeAt(tEnd float64) error {
+	e.now = tEnd
+	kept := e.run[:0]
+	for _, rj := range e.run {
+		if rj.endOf() <= tEnd+1e-9 {
+			rj.res.EndHours = tEnd
+			actual := tEnd - rj.res.StartHours
+			if rj.res.ServiceHours > 0 {
+				rj.res.StretchX = actual / rj.res.ServiceHours
+			}
+			e.res.Jobs = append(e.res.Jobs, *rj.res)
+			if err := e.sys.Free(rj.alloc); err != nil {
+				return err
+			}
+			e.res.LeaseOps++
+			e.busy -= rj.job.Nodes
+			e.demand -= rj.drainBps
+			rj.epoch++ // strand any completion-heap snapshot
+		} else {
+			kept = append(kept, rj)
+		}
+	}
+	e.run = kept
+	e.restretch()
+	e.sample()
+	return nil
+}
+
+// enqueue admits an arrival to the wait queue. The indexed loop prices
+// the shape here — once per job instead of once per decision point.
+func (e *engine) enqueue(j *Job) error {
+	ent := &qent{job: j, submitH: e.now}
+	if e.naive {
+		e.qued[j.ID] = e.now
+	} else {
+		p, err := e.pr.Price(j.Spec)
+		if err != nil {
+			return err
+		}
+		ent.price = p
+	}
+	e.queue = append(e.queue, ent)
+	e.live++
+	return nil
+}
+
+// loop is the shared event skeleton: completions at the same instant as
+// an arrival free nodes first, as a real scheduler's event loop would,
+// and every event is followed by a scheduling pass.
+func (e *engine) loop() error {
+	e.sample()
+	for e.next < len(e.arrivals) || len(e.run) > 0 {
+		tArr := math.Inf(1)
+		if e.next < len(e.arrivals) {
+			tArr = e.arrivals[e.next].SubmitHours
+		}
+		if tEnd := e.nextEnd(); tEnd <= tArr {
+			if err := e.completeAt(tEnd); err != nil {
+				return err
+			}
+		} else {
+			e.now = tArr
+			// Admit every arrival at this instant before scheduling.
+			for e.next < len(e.arrivals) && e.arrivals[e.next].SubmitHours == e.now {
+				if err := e.enqueue(e.arrivals[e.next]); err != nil {
+					return err
+				}
+				e.next++
+			}
+		}
+		if err := e.schedule(); err != nil {
+			return err
+		}
+	}
+	e.res.Makespan = e.now
+	// Jobs complete in event order; report them in submission order so
+	// the result is keyed the way the trace was.
+	sort.SliceStable(e.res.Jobs, func(a, b int) bool { return e.res.Jobs[a].ID < e.res.Jobs[b].ID })
+	return nil
+}
+
+func (e *engine) schedule() error {
+	if e.naive {
+		return e.scheduleNaive()
+	}
+	return e.scheduleIndexed()
+}
+
+// scheduleNaive is the pre-index decision loop: a fresh QueueView per
+// pass, every queued shape re-priced through the memo map, started
+// jobs spliced out of the queue.
+func (e *engine) scheduleNaive() error {
+	for {
+		v := QueueView{NowHours: e.now, Free: e.sys.FreeNodes()}
+		for _, ent := range e.queue {
+			p, err := e.pr.Price(ent.job.Spec)
+			if err != nil {
+				return err
+			}
+			v.Queue = append(v.Queue, Pending{Job: ent.job, WaitHours: e.now - e.qued[ent.job.ID], ServiceHours: p.EstimateHours})
+		}
+		for _, rj := range e.run {
+			v.Running = append(v.Running, Active{Nodes: rj.job.Nodes, EndHours: rj.endOf()})
+		}
+		ds := e.pol.Pick(v)
+		if len(ds) == 0 {
+			return nil
+		}
+		// Indices reference the view's queue; apply back-to-front so
+		// earlier removals do not shift later picks.
+		sort.Slice(ds, func(a, b int) bool { return ds[a].QueueIndex > ds[b].QueueIndex })
+		for _, d := range ds {
+			if d.QueueIndex < 0 || d.QueueIndex >= len(e.queue) {
+				return fmt.Errorf("sched: policy %s picked queue index %d of %d", e.pol.Name(), d.QueueIndex, len(e.queue))
+			}
+			ent := e.queue[d.QueueIndex]
+			p, err := e.pr.Price(ent.job.Spec)
+			if err != nil {
+				return err
+			}
+			if err := e.admit(ent.job, e.qued[ent.job.ID], p, d.Backfilled); err != nil {
+				return err
+			}
+			// Started jobs no longer wait: drop the submit-time entry so a
+			// long trace does not hold every ID's bookkeeping forever.
+			delete(e.qued, ent.job.ID)
+			e.queue = append(e.queue[:d.QueueIndex], e.queue[d.QueueIndex+1:]...)
+			e.live--
+		}
+		e.restretch()
+		e.sample()
+		// Loop: starting jobs changed the view; give the policy another
+		// look (it may have been conservative about a now-free slot).
+		if e.live == 0 {
+			return nil
+		}
+	}
+}
+
+// scheduleIndexed is the scaled decision loop: reused view buffers,
+// admission-time prices, tombstoned queue removal, and the
+// PrefixPolicy veto for decision points that provably start nothing.
+func (e *engine) scheduleIndexed() error {
+	for {
+		if e.live == 0 {
+			return nil
+		}
+		free := e.sys.FreeNodes()
+		if e.prefix != nil {
+			if head := e.headEnt(); head != nil && e.prefix.PrefixBlocked(free, head.job.Nodes) {
+				return nil // O(1): this pass cannot start anything
+			}
+		}
+		e.view.NowHours = e.now
+		e.view.Free = free
+		e.view.Queue = e.view.Queue[:0]
+		e.viewSlots = e.viewSlots[:0]
+		for si, ent := range e.queue {
+			if ent.dead {
+				continue
+			}
+			e.view.Queue = append(e.view.Queue, Pending{Job: ent.job, WaitHours: e.now - ent.submitH, ServiceHours: ent.price.EstimateHours})
+			e.viewSlots = append(e.viewSlots, si)
+		}
+		e.view.Running = e.view.Running[:0]
+		for _, rj := range e.run {
+			e.view.Running = append(e.view.Running, Active{Nodes: rj.job.Nodes, EndHours: rj.endOf()})
+		}
+		ds := e.pol.Pick(e.view)
+		if len(ds) == 0 {
+			return nil
+		}
+		// Same back-to-front application order as the naive loop: the
+		// allocator's lease sequence is part of the byte-identity contract.
+		sort.Slice(ds, func(a, b int) bool { return ds[a].QueueIndex > ds[b].QueueIndex })
+		for _, d := range ds {
+			if d.QueueIndex < 0 || d.QueueIndex >= len(e.viewSlots) {
+				return fmt.Errorf("sched: policy %s picked queue index %d of %d", e.pol.Name(), d.QueueIndex, len(e.view.Queue))
+			}
+			ent := e.queue[e.viewSlots[d.QueueIndex]]
+			if ent.dead {
+				return fmt.Errorf("sched: policy %s picked queue index %d twice", e.pol.Name(), d.QueueIndex)
+			}
+			if err := e.admit(ent.job, ent.submitH, ent.price, d.Backfilled); err != nil {
+				return err
+			}
+			ent.dead = true
+			e.live--
+		}
+		e.compactQueue()
+		e.restretch()
+		e.sample()
+	}
+}
+
+// headEnt is the first live queue entry (the policy-visible head).
+func (e *engine) headEnt() *qent {
+	for _, ent := range e.queue {
+		if !ent.dead {
+			return ent
+		}
+	}
+	return nil
+}
+
+// compactQueue drops tombstones once they outnumber live entries, so
+// removal stays O(1) amortized and headEnt's dead-prefix walk stays
+// short without ever shifting live entries out of submission order.
+func (e *engine) compactQueue() {
+	if dead := len(e.queue) - e.live; dead > e.live && dead > 32 {
+		kept := e.queue[:0]
+		for _, ent := range e.queue {
+			if !ent.dead {
+				kept = append(kept, ent)
+			}
+		}
+		e.queue = kept
+	}
+}

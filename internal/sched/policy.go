@@ -30,6 +30,12 @@ func (FCFS) Pick(v QueueView) []Decision {
 	return ds
 }
 
+// PrefixBlocked implements PrefixPolicy: Pick stops at the first job
+// that does not fit, so a blocked head blocks the whole pass. The
+// indexed event loop uses this to skip decision points in O(1) —
+// arrivals behind a blocked head, completions too narrow to unblock it.
+func (FCFS) PrefixBlocked(free, headNodes int) bool { return headNodes > free }
+
 // EASY is EASY backfill with priority aging. The queue is ordered by an
 // aged priority score; the highest-priority job that does not fit gets
 // the sole reservation (the earliest future instant enough nodes come
@@ -68,13 +74,20 @@ func (p EASY) score(q Pending) float64 {
 // Pick implements Policy.
 func (p EASY) Pick(v QueueView) []Decision {
 	order := make([]int, len(v.Queue))
+	// Scores are computed once per entry rather than inside the sort
+	// comparator: score is a pure function of the entry, so the ordering
+	// is unchanged, but a deep queue no longer pays two Log2 calls per
+	// comparison — the comparator cost that used to dominate
+	// machine-scale Picks.
+	scores := make([]float64, len(v.Queue))
 	for i := range order {
 		order[i] = i
+		scores[i] = p.score(v.Queue[i])
 	}
 	// Stable sort on descending score: ties resolve in submission order,
 	// keeping the policy deterministic for bit-identical parallel sweeps.
 	sort.SliceStable(order, func(a, b int) bool {
-		return p.score(v.Queue[order[a]]) > p.score(v.Queue[order[b]])
+		return scores[order[a]] > scores[order[b]]
 	})
 
 	free := v.Free

@@ -6,6 +6,7 @@ import (
 	"picmcio/internal/burst"
 	"picmcio/internal/cluster"
 	"picmcio/internal/jobs"
+	"picmcio/internal/sweep"
 )
 
 // Price is one job shape's scheduling-relevant cost summary, measured by
@@ -46,6 +47,16 @@ type Pricer struct {
 	// padded number, not the truth; 0 (the default) keeps the historical
 	// perfect oracle. Must be >= 0: estimates are padded, never short.
 	EstimateError float64
+
+	// ProbeDrainBatchBytes, when positive, sets burst.Spec.DrainBatchBytes
+	// on priced specs that leave it zero, so pricing probe runs ride the
+	// kernel's batched drain write-backs (they already ride the
+	// calendar-queue presets automatically: probes run through jobs.Run,
+	// which sizes its kernel via Machine.KernelOptions). Opt-in because
+	// batching changes drain completion timing and therefore prices; the
+	// zero default keeps historical prices byte-identical. The effective
+	// (overridden) spec is what the cache is keyed on.
+	ProbeDrainBatchBytes int64
 }
 
 // shapeKey is the comparable projection of a jobs.Spec (the Classify
@@ -61,14 +72,15 @@ type shapeKey struct {
 }
 
 type burstKey struct {
-	capacity  int64
-	rate      float64
-	perOp     float64
-	drainRate float64
-	policy    burst.Policy
-	highWater float64
-	lowWater  float64
-	qos       burst.QoS
+	capacity   int64
+	rate       float64
+	perOp      float64
+	drainRate  float64
+	policy     burst.Policy
+	highWater  float64
+	lowWater   float64
+	qos        burst.QoS
+	drainBatch int64
 }
 
 func keyOf(s jobs.Spec) shapeKey {
@@ -88,6 +100,10 @@ func keyOf(s jobs.Spec) shapeKey {
 			highWater: s.Burst.HighWater,
 			lowWater:  s.Burst.LowWater,
 			qos:       s.Burst.QoS,
+			// Batched write-backs change drain completion timing; without
+			// this field two specs differing only in DrainBatchBytes would
+			// alias one cache entry and price identically.
+			drainBatch: s.Burst.DrainBatchBytes,
 		},
 		stripeCount: s.StripeCount,
 		stripeSize:  s.StripeSize,
@@ -104,15 +120,39 @@ func NewPricer(m cluster.Machine, seed uint64, epochHours float64) *Pricer {
 	return &Pricer{m: m, seed: seed, epochHours: epochHours, cache: map[shapeKey]Price{}}
 }
 
+// withProbeOptions applies the pricer's opt-in probe overrides to a
+// spec (a value copy), so both the probe run and the cache key see the
+// effective shape.
+func (p *Pricer) withProbeOptions(spec jobs.Spec) jobs.Spec {
+	if p.ProbeDrainBatchBytes > 0 && spec.Burst.DrainBatchBytes == 0 {
+		spec.Burst.DrainBatchBytes = p.ProbeDrainBatchBytes
+	}
+	return spec
+}
+
 // Price returns the shape's cost summary, simulating it on first sight.
 func (p *Pricer) Price(spec jobs.Spec) (Price, error) {
 	if spec.Burst.Classify != nil {
 		return Price{}, fmt.Errorf("sched: job spec %q carries a Classify func (not memoizable)", spec.Name)
 	}
+	spec = p.withProbeOptions(spec)
 	k := keyOf(spec)
 	if pr, ok := p.cache[k]; ok {
 		return p.estimate(pr), nil
 	}
+	pr, err := p.priceUncached(spec)
+	if err != nil {
+		return Price{}, err
+	}
+	p.cache[k] = pr
+	return p.estimate(pr), nil
+}
+
+// priceUncached measures one shape by simulation, without touching the
+// cache — the shared core of Price and Prewarm. The result depends
+// only on the shape, the machine, and the pricer's seed, so concurrent
+// callers on distinct shapes are independent.
+func (p *Pricer) priceUncached(spec jobs.Spec) (Price, error) {
 	// Isolated run under a canonical name: the price must depend on the
 	// shape, not on which queued job first exercised it.
 	probe := spec
@@ -137,8 +177,54 @@ func (p *Pricer) Price(spec jobs.Spec) (Price, error) {
 	if r.DurableSec > 0 && computeSec < r.DurableSec {
 		pr.IOFrac = (r.DurableSec - computeSec) / r.DurableSec
 	}
-	p.cache[k] = pr
-	return p.estimate(pr), nil
+	return pr, nil
+}
+
+// Prewarm prices every distinct shape of the stream up front, running
+// the probe simulations concurrently on the sweep engine's bounded
+// worker pool (parallel <= 1: serial). Every probe uses the same seed
+// a cold Price call would, and the cache is filled serially after the
+// pool drains, so the cache Prewarm builds is byte-identical to the
+// one lazy serial pricing would have built — only the wall-clock cost
+// moves. Already-cached and duplicate shapes cost nothing; on error
+// the lowest-stream-index failure is returned and no result is cached.
+func (p *Pricer) Prewarm(stream []Job, parallel int) error {
+	var specs []jobs.Spec
+	var keys []shapeKey
+	seen := map[shapeKey]bool{}
+	for i := range stream {
+		spec := stream[i].Spec
+		if spec.Burst.Classify != nil {
+			return fmt.Errorf("sched: job spec %q carries a Classify func (not memoizable)", spec.Name)
+		}
+		spec = p.withProbeOptions(spec)
+		k := keyOf(spec)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := p.cache[k]; ok {
+			continue
+		}
+		specs = append(specs, spec)
+		keys = append(keys, k)
+	}
+	prices := make([]Price, len(specs))
+	err := sweep.ForEach(len(specs), parallel, func(i int) error {
+		pr, err := p.priceUncached(specs[i])
+		if err != nil {
+			return err
+		}
+		prices[i] = pr
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, k := range keys {
+		p.cache[k] = prices[i]
+	}
+	return nil
 }
 
 // estimate stamps the pricer's walltime-estimate padding onto a cached

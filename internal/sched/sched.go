@@ -29,7 +29,6 @@ package sched
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"picmcio/internal/cluster"
@@ -138,6 +137,15 @@ type Config struct {
 	// config's machine/seed/epoch clock). Sharing one pricer across runs
 	// of the same machine skips re-simulating known job shapes.
 	Pricer *Pricer
+	// TimelineEvery, when positive, downsamples Result.Timeline: beyond
+	// the always-on coalescing of equal-Busy steps, at most one sample is
+	// retained per TimelineEvery hours — later steps inside a window fold
+	// into the window's sample, which keeps the latest busy count. The
+	// zero default keeps every distinct step: exact, and fine below
+	// machine scale; at thousands of nodes and tens of thousands of jobs
+	// the exact timeline is O(events) memory, and a downsampled one
+	// trades Utilization() precision for a bounded footprint.
+	TimelineEvery float64
 }
 
 func (c Config) withDefaults() Config {
@@ -302,21 +310,19 @@ func (r *Result) JainTenants() float64 {
 	return jobs.JainIndex(xs)
 }
 
-// running is one admitted job's live state.
-type running struct {
-	job   *Job
-	res   *JobResult
-	alloc *cluster.Allocation
-	// remainingH is service time still owed at nominal (uncontended)
-	// rate; it burns down at 1/slowdown per hour.
-	remainingH float64
-	slowdown   float64
-	drainBps   float64
-	ioFrac     float64
-}
-
 // Run replays the job stream (sorted by SubmitHours; ties broken by ID)
 // through the policy on the config's machine partition.
+//
+// Two event-loop implementations exist behind this entry point. The
+// default indexed loop (loop.go) finds the next completion through a
+// lazily invalidated min-heap, reuses QueueView buffers across decision
+// points, removes started jobs from the wait queue in O(1) amortized,
+// and lets prefix-order policies veto provably idle decision points in
+// O(1) — the machinery that makes whole-machine runs (thousands of
+// nodes, tens of thousands of queued jobs) tractable. The retained
+// naive loop (ForceNaiveLoopForTesting) keeps the pre-index structure;
+// both share every piece of event arithmetic, and the differential
+// suite holds them byte-identical.
 func Run(cfg Config, pol Policy, stream []Job) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if pol == nil {
@@ -356,191 +362,20 @@ func Run(cfg Config, pol Policy, stream []Job) (*Result, error) {
 		return arrivals[a].ID < arrivals[b].ID
 	})
 
-	res := &Result{Policy: pol.Name(), Nodes: cfg.Nodes}
-	var queue []*Job
-	queued := map[int]float64{} // job ID -> submit time (for wait calc)
-	var run []*running
-	now := 0.0
-	busy := 0
-	sample := func() {
-		if n := len(res.Timeline); n > 0 && res.Timeline[n-1].Hours == now {
-			res.Timeline[n-1].Busy = busy
-			return
-		}
-		res.Timeline = append(res.Timeline, UtilSample{Hours: now, Busy: busy})
+	e := &engine{
+		cfg: cfg, pol: pol, pr: pr, sys: sys,
+		arrivals: arrivals,
+		res:      &Result{Policy: pol.Name(), Nodes: cfg.Nodes},
+		lastOver: 1,
 	}
-	sample()
-
-	// restretch re-evaluates the processor-sharing contention model over
-	// the running set: aggregate drain demand vs the PFS capacity. Only
-	// each job's I/O fraction stretches — compute phases do not contend.
-	restretch := func() {
-		demand := 0.0
-		for _, rj := range run {
-			demand += rj.drainBps
-		}
-		over := 1.0
-		if cfg.PFSBandwidth > 0 && demand > cfg.PFSBandwidth {
-			over = demand / cfg.PFSBandwidth
-		}
-		for _, rj := range run {
-			rj.slowdown = 1 + rj.ioFrac*(over-1)
-		}
+	if forceNaiveLoop {
+		e.naive = true
+		e.qued = map[int]float64{}
+	} else if pp, ok := pol.(PrefixPolicy); ok {
+		e.prefix = pp
 	}
-	// advance burns dt hours off every running job at its current rate.
-	advance := func(dt float64) {
-		for _, rj := range run {
-			rj.remainingH -= dt / rj.slowdown
-			if rj.remainingH < 0 {
-				rj.remainingH = 0
-			}
-		}
+	if err := e.loop(); err != nil {
+		return nil, err
 	}
-	endOf := func(rj *running) float64 { return now + rj.remainingH*rj.slowdown }
-
-	start := func(d Decision) error {
-		if d.QueueIndex < 0 || d.QueueIndex >= len(queue) {
-			return fmt.Errorf("sched: policy %s picked queue index %d of %d", pol.Name(), d.QueueIndex, len(queue))
-		}
-		j := queue[d.QueueIndex]
-		p, err := pr.Price(j.Spec)
-		if err != nil {
-			return err
-		}
-		alloc, err := sys.Allocate(j.Nodes)
-		if err != nil {
-			return fmt.Errorf("sched: policy %s overcommitted: %w", pol.Name(), err)
-		}
-		res.LeaseOps++
-		queue = append(queue[:d.QueueIndex], queue[d.QueueIndex+1:]...)
-		jr := &JobResult{
-			Job:          *j,
-			StartHours:   now,
-			WaitHours:    now - queued[j.ID],
-			ServiceHours: p.ServiceHours,
-			Backfilled:   d.Backfilled,
-		}
-		if d.Backfilled {
-			res.Backfills++
-		}
-		run = append(run, &running{
-			job: j, res: jr, alloc: alloc,
-			remainingH: p.ServiceHours,
-			slowdown:   1,
-			drainBps:   p.DrainBps,
-			ioFrac:     p.IOFrac,
-		})
-		busy += j.Nodes
-		return nil
-	}
-
-	schedule := func() error {
-		for {
-			v := QueueView{NowHours: now, Free: sys.FreeNodes()}
-			for _, j := range queue {
-				p, err := pr.Price(j.Spec)
-				if err != nil {
-					return err
-				}
-				v.Queue = append(v.Queue, Pending{Job: j, WaitHours: now - queued[j.ID], ServiceHours: p.EstimateHours})
-			}
-			for _, rj := range run {
-				v.Running = append(v.Running, Active{Nodes: rj.job.Nodes, EndHours: endOf(rj)})
-			}
-			ds := pol.Pick(v)
-			if len(ds) == 0 {
-				return nil
-			}
-			// Indices reference the view's queue; apply back-to-front so
-			// earlier removals do not shift later picks.
-			sort.Slice(ds, func(a, b int) bool { return ds[a].QueueIndex > ds[b].QueueIndex })
-			for _, d := range ds {
-				if err := start(d); err != nil {
-					return err
-				}
-			}
-			restretch()
-			sample()
-			// Loop: starting jobs changed the view; give the policy another
-			// look (it may have been conservative about a now-free slot).
-			if len(queue) == 0 {
-				return nil
-			}
-		}
-	}
-
-	next := 0 // next arrival index
-	for next < len(arrivals) || len(run) > 0 {
-		// Earliest event: next arrival vs earliest predicted completion.
-		tArr, tEnd := math.Inf(1), math.Inf(1)
-		if next < len(arrivals) {
-			tArr = arrivals[next].SubmitHours
-		}
-		for _, rj := range run {
-			if e := endOf(rj); e < tEnd {
-				tEnd = e
-			}
-		}
-		// Completions at the same instant as an arrival free nodes first,
-		// as a real scheduler's event loop would.
-		if tEnd <= tArr {
-			t := tEnd
-			// Mark completions by predicted end time BEFORE advancing: the
-			// argmin job always qualifies (endOf == tEnd), so every
-			// completion event retires at least one job and the loop makes
-			// progress even when the clock is large enough that float
-			// residue keeps remainingH a hair above zero after advance.
-			// The nano-hour slack merges near-simultaneous finishes into
-			// one deterministic instant.
-			doneNow := make(map[*running]bool, len(run))
-			for _, rj := range run {
-				if endOf(rj) <= t+1e-9 {
-					doneNow[rj] = true
-				}
-			}
-			advance(t - now)
-			now = t
-			// Collect every job finishing at this instant (deterministic
-			// order: position in the running list, i.e. start order).
-			kept := run[:0]
-			for _, rj := range run {
-				if doneNow[rj] {
-					rj.res.EndHours = now
-					actual := rj.res.EndHours - rj.res.StartHours
-					if rj.res.ServiceHours > 0 {
-						rj.res.StretchX = actual / rj.res.ServiceHours
-					}
-					res.Jobs = append(res.Jobs, *rj.res)
-					if err := sys.Free(rj.alloc); err != nil {
-						return nil, err
-					}
-					res.LeaseOps++
-					busy -= rj.job.Nodes
-				} else {
-					kept = append(kept, rj)
-				}
-			}
-			run = kept
-			restretch()
-			sample()
-		} else {
-			advance(tArr - now)
-			now = tArr
-			// Admit every arrival at this instant before scheduling.
-			for next < len(arrivals) && arrivals[next].SubmitHours == now {
-				j := arrivals[next]
-				queue = append(queue, j)
-				queued[j.ID] = now
-				next++
-			}
-		}
-		if err := schedule(); err != nil {
-			return nil, err
-		}
-	}
-	res.Makespan = now
-	// Jobs complete in event order; report them in submission order so
-	// the result is keyed the way the trace was.
-	sort.SliceStable(res.Jobs, func(a, b int) bool { return res.Jobs[a].ID < res.Jobs[b].ID })
-	return res, nil
+	return e.res, nil
 }

@@ -326,39 +326,23 @@ type Options struct {
 	Parallel int
 }
 
-// Run evaluates the trial at every cell of the grid and returns the
-// points in grid order. Trials run on min(Parallel, Size) workers. A
-// failing trial stops the sweep — no further cells are dispatched
-// (in-flight parallel trials finish) — and Run returns the
-// lowest-index error observed, with its parameter assignment wrapped
-// in.
-func Run(g Grid, opt Options, trial Trial) (Table, error) {
-	if err := g.Validate(); err != nil {
-		return Table{}, err
-	}
-	if trial == nil {
-		return Table{}, fmt.Errorf("sweep: nil trial")
-	}
-	n := g.Size()
-	t := Table{Title: opt.Title, Seed: opt.Seed, Axes: g, Points: make([]Point, n)}
+// ForEach evaluates fn(i) for every i in [0, n) on a bounded worker
+// pool of min(parallel, n) goroutines (parallel <= 1: serial, in index
+// order). A failing index stops the dispatch — no further indices are
+// handed out, though in-flight parallel ones finish — and ForEach
+// returns the lowest-index error observed. It is the pool behind Run,
+// exported so other deterministic fan-outs (the sched pricer's Prewarm)
+// share one concurrency discipline instead of growing their own.
+func ForEach(n, parallel int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var failed atomic.Bool
 	one := func(i int) {
-		c := g.At(i)
-		c.Seed = xrand.SeedAt(opt.Seed, uint64(i))
-		p, err := trial(c)
-		if err != nil {
+		if err := fn(i); err != nil {
 			errs[i] = err
 			failed.Store(true)
-			return
 		}
-		p.Index = i
-		if p.Params == nil {
-			p.Params = c.Params()
-		}
-		t.Points[i] = p
 	}
-	if workers := min(opt.Parallel, n); workers > 1 {
+	if workers := min(parallel, n); workers > 1 {
 		idx := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -380,12 +364,44 @@ func Run(g Grid, opt Options, trial Trial) (Table, error) {
 			one(i)
 		}
 	}
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return t, fmt.Errorf("sweep: trial %d (%s): %w", i, paramString(g.At(i).Params()), err)
+			return err
 		}
 	}
-	return t, nil
+	return nil
+}
+
+// Run evaluates the trial at every cell of the grid and returns the
+// points in grid order. Trials run on min(Parallel, Size) workers. A
+// failing trial stops the sweep — no further cells are dispatched
+// (in-flight parallel trials finish) — and Run returns the
+// lowest-index error observed, with its parameter assignment wrapped
+// in.
+func Run(g Grid, opt Options, trial Trial) (Table, error) {
+	if err := g.Validate(); err != nil {
+		return Table{}, err
+	}
+	if trial == nil {
+		return Table{}, fmt.Errorf("sweep: nil trial")
+	}
+	n := g.Size()
+	t := Table{Title: opt.Title, Seed: opt.Seed, Axes: g, Points: make([]Point, n)}
+	err := ForEach(n, opt.Parallel, func(i int) error {
+		c := g.At(i)
+		c.Seed = xrand.SeedAt(opt.Seed, uint64(i))
+		p, err := trial(c)
+		if err != nil {
+			return fmt.Errorf("sweep: trial %d (%s): %w", i, paramString(c.Params()), err)
+		}
+		p.Index = i
+		if p.Params == nil {
+			p.Params = c.Params()
+		}
+		t.Points[i] = p
+		return nil
+	})
+	return t, err
 }
 
 // paramString renders a parameter assignment for error context.
