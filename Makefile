@@ -96,6 +96,7 @@ smoke:
 	$(GO) run ./examples/multi-job
 	$(GO) run ./examples/schedtrace
 	$(GO) run ./examples/schedtrace -nodes 256 -jobs 1000
+	$(GO) run ./examples/schedtrace -fair -preempt 8 -mtbf 1500
 
 # sweep-smoke runs the sweep-native artifacts at tiny scale and writes
 # their machine-readable JSON; CI archives the outputs. The -optimal
@@ -109,13 +110,12 @@ sweep-smoke:
 	$(GO) run ./cmd/experiments -json -parallel 4 figinterval > figinterval.json
 	$(GO) run ./cmd/experiments -parallel 4 figsched
 	$(GO) run ./cmd/experiments -json -parallel 4 figsched > figsched.json
+	$(GO) run ./cmd/experiments -parallel 4 figfair
+	$(GO) run ./cmd/experiments -json -parallel 4 figfair > figfair.json
 	$(GO) run ./cmd/experiments -parallel 4 figworkload
 	$(GO) run ./cmd/experiments -json -parallel 4 figworkload > figworkload.json
 
 clean:
-	rm -f BENCH_contention.json BENCH_contention.txt BENCH_fault.json BENCH_fault.txt
-	rm -f BENCH_sweep.json BENCH_sweep.txt BENCH_interval.json BENCH_interval.txt
-	rm -f BENCH_sched.json BENCH_sched.txt BENCH_workload.json BENCH_workload.txt
-	rm -f BENCH_kernel.json BENCH_kernel.txt
+	rm -f BENCH_*.json BENCH_*.txt
 	rm -f cpu.pprof mem.pprof kernel.test sched_cpu.pprof sched_mem.pprof sched.test
-	rm -f figsizing.json campfail.json figinterval.json figsched.json figworkload.json
+	rm -f figsizing.json campfail.json figinterval.json figsched.json figfair.json figworkload.json

@@ -674,15 +674,26 @@ func schedScaleStream(nodes, jobCount int) (cluster.Machine, *sched.Pricer, []sc
 // floor below pins at ≥ 5×. EASY backfill runs at the 1024-node tier:
 // its per-decision queue sort dominates both loops equally at 4096
 // nodes, which would dilute the ratio the ratchet exists to protect.
+// A second ratcheted leg replays the 1024-node stream under fair-share
+// with preemption and node failures enabled, so the speedup guarantee
+// also covers the realism stack (floor ≥ 1.5×: the added per-event
+// bookkeeping is common to both loops and compresses the ratio —
+// measured ~2× at record time).
 func BenchmarkSchedScale(b *testing.B) {
 	cases := []struct {
 		nodes, jobs int
 		policy      sched.Policy
 		ratchet     bool
+		// realism turns on the full scheduler-realism stack — fair-share
+		// usage accounting, preemptive checkpoint-and-requeue, in-queue
+		// node failures — so the gated speedup covers the event loop's
+		// most feature-dense configuration, not just the clean path.
+		realism bool
 	}{
-		{1024, 5000, sched.FCFS{}, false},
-		{1024, 5000, sched.EASY{}, false},
-		{4096, 20000, sched.FCFS{}, true},
+		{1024, 5000, sched.FCFS{}, false, false},
+		{1024, 5000, sched.EASY{}, false, false},
+		{1024, 5000, sched.FairShare{}, true, true},
+		{4096, 20000, sched.FCFS{}, true, false},
 	}
 	for i := 0; i < b.N; i++ {
 		for _, c := range cases {
@@ -691,6 +702,10 @@ func BenchmarkSchedScale(b *testing.B) {
 				b.Fatal(err)
 			}
 			cfg := sched.Config{Machine: m, Nodes: c.nodes, Seed: 1, Pricer: pr}
+			if c.realism {
+				cfg.Preempt = sched.PreemptConfig{MaxHeadWaitHours: 24, CheckpointHours: 0.5}
+				cfg.Faults = sched.FaultConfig{MTBFNodeHours: 2000, RepairHours: 12, RestartOverheadHours: 0.5}
+			}
 			restore := sched.ForceNaiveLoopForTesting()
 			start := time.Now()
 			naive, err := sched.Run(cfg, c.policy, stream)
@@ -715,12 +730,21 @@ func BenchmarkSchedScale(b *testing.B) {
 			speedup := naiveWall / indexedWall
 			tag := fmt.Sprintf("%d_%s", c.nodes, c.policy.Name())
 			b.ReportMetric(rate/1e3, "kjobs_per_s_"+tag)
-			if c.ratchet {
+			switch {
+			case c.ratchet && c.realism:
+				// The realism stack adds per-event usage folding and kill
+				// bookkeeping to both loops; the indexed advantage shrinks
+				// but must stay decisive.
+				if speedup < 1.5 {
+					b.Fatalf("%d nodes %s realism: indexed loop is %.1f× the naive loop, acceptance floor is 1.5×", c.nodes, c.policy.Name(), speedup)
+				}
+				b.ReportMetric(speedup, "speedup_1024_realism_ratchet")
+			case c.ratchet:
 				if speedup < 5 {
 					b.Fatalf("%d nodes %s: indexed loop is %.1f× the naive loop, acceptance floor is 5×", c.nodes, c.policy.Name(), speedup)
 				}
 				b.ReportMetric(speedup, "speedup_4096_ratchet")
-			} else {
+			default:
 				b.ReportMetric(speedup, "speedup_"+tag+"_x")
 			}
 		}

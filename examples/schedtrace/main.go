@@ -15,6 +15,12 @@
 // loop keeps whole-machine runs tractable too — -nodes 4096 -jobs
 // 20000 replays in well under a minute, where the retired naive loop
 // took tens of minutes.
+//
+// -fair skews the tenant submission rates and adds the fair-share
+// policy to the comparison; -preempt enables checkpoint-and-requeue
+// preemption once the queue head has waited that many hours; -mtbf
+// turns on in-queue node failures (kill, requeue from the last drained
+// checkpoint, repair window).
 package main
 
 import (
@@ -31,6 +37,9 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 64, "partition size in nodes")
 	jobCount := flag.Int("jobs", 240, "approximate number of submissions to synthesize")
+	fair := flag.Bool("fair", false, "skew the tenant submission rates and add the fair-share policy to the comparison")
+	preemptW := flag.Float64("preempt", 0, "preempt running jobs once the queue head has waited this many hours (0 = off)")
+	mtbf := flag.Float64("mtbf", 0, "per-node MTBF in hours for in-queue node failures (0 = off)")
 	flag.Parse()
 
 	m := cluster.Dardel()
@@ -43,6 +52,11 @@ func main() {
 	// node-hour capacity: enough pressure that a queue forms and the
 	// policies have something to disagree about.
 	s := sched.Synth{Tenants: 8, Users: 4, Seed: 1}
+	if *fair {
+		// One hog tenant at 6× the base rate: the workload fair-share
+		// exists to push back on.
+		s.TenantWeights = []float64{6, 3, 2, 1, 1, 1, 1, 1}
+	}
 	mean, err := sched.SubmitMeanForLoad(pricer, m, s, 1.1, *nodes)
 	if err != nil {
 		log.Fatal(err)
@@ -74,8 +88,18 @@ func main() {
 	}
 
 	cfg := sched.Config{Machine: m, Nodes: *nodes, Seed: 1, Pricer: pricer}
+	if *preemptW > 0 {
+		cfg.Preempt = sched.PreemptConfig{MaxHeadWaitHours: *preemptW, CheckpointHours: 0.5}
+	}
+	if *mtbf > 0 {
+		cfg.Faults = sched.FaultConfig{MTBFNodeHours: *mtbf, RepairHours: 12, RestartOverheadHours: 0.5}
+	}
+	policies := []sched.Policy{sched.FCFS{}, sched.EASY{}}
+	if *fair {
+		policies = append(policies, sched.FairShare{})
+	}
 	var results []*sched.Result
-	for _, pol := range []sched.Policy{sched.FCFS{}, sched.EASY{}} {
+	for _, pol := range policies {
 		res, err := sched.Run(cfg, pol, replay)
 		if err != nil {
 			log.Fatal(err)
@@ -85,6 +109,10 @@ func main() {
 		fmt.Printf("  makespan %.0f h, utilization %.1f%%, mean wait %.1f h (p95 %.1f h), %d backfills\n",
 			res.Makespan, 100*res.Utilization(), res.MeanWaitHours(), res.WaitQuantile(0.95), res.Backfills)
 		fmt.Printf("  per-tenant Jain fairness (%d tenants): %.4f\n", len(res.TenantStats()), res.JainTenants())
+		if *fair || *preemptW > 0 || *mtbf > 0 {
+			fmt.Printf("  delivered-usage Jain %.4f (share error %.4f), %d preemptions, %d failure kills, %.0f node-h lost, %.0f node-h down\n",
+				res.UsageJain, res.ShareErr, res.Preemptions, res.FailureKills, res.LostNodeHours, res.DownNodeHours)
+		}
 		fmt.Println("  size classes:")
 		for _, c := range res.ClassStats() {
 			fmt.Printf("    %-8s %3d jobs  mean wait %7.1f h  mean slowdown %6.2fx\n",
@@ -97,5 +125,13 @@ func main() {
 		fcfs.MeanWaitHours(), easy.MeanWaitHours())
 	if easy.MeanWaitHours() < fcfs.MeanWaitHours() && easy.Utilization() >= fcfs.Utilization() {
 		fmt.Println("backfill cuts queue waits without giving up utilization ✔")
+	}
+	if *fair {
+		fs := results[2]
+		fmt.Printf("delivered-usage Jain: %.4f (FCFS), %.4f (EASY) -> %.4f (fair-share)\n",
+			fcfs.UsageJain, easy.UsageJain, fs.UsageJain)
+		if fs.UsageJain > easy.UsageJain && fs.UsageJain > fcfs.UsageJain {
+			fmt.Println("fair-share holds delivered usage nearest equal shares under the skew ✔")
+		}
 	}
 }

@@ -245,6 +245,13 @@ var catalog = []Artifact{
 		}
 		return Output{Text: renderSched(st), Table: &st}, nil
 	}},
+	{"figfair", "fairness-under-failures campaign: fair-share vs FCFS/EASY with preemption and node failures", func(o Options, _ int) (Output, error) {
+		st, err := o.FigFair()
+		if err != nil {
+			return Output{}, err
+		}
+		return Output{Text: renderFair(st), Table: &st}, nil
+	}},
 	{"tab1", "IOR command lines of Table I", func(Options, int) (Output, error) {
 		return Output{Text: Tab1().Render() + "\n"}, nil
 	}},

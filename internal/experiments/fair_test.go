@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigFairAcceptance pins the fairness campaign's headline claim:
+// under skewed offered load — with and without in-queue node failures —
+// fair-share delivers strictly higher usage fairness (time-weighted
+// Jain over delivered tenant usage) than both FCFS and EASY in every
+// failure cell, at utilization within 5% of EASY's. The failure cells
+// must actually land kills, and every cell replays the identical
+// stream.
+func TestFigFairAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale fairness campaign")
+	}
+	o := Options{Seed: 1}
+	st, err := o.FigFair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]map[string]FairPoint{}
+	for _, p := range st.Points {
+		pt := p.Extra.(FairPoint)
+		if cells[pt.Failures] == nil {
+			cells[pt.Failures] = map[string]FairPoint{}
+		}
+		cells[pt.Failures][pt.Policy] = pt
+	}
+	if len(cells) != len(fairFailureLevels) {
+		t.Fatalf("campaign has %d failure cells, want %d", len(cells), len(fairFailureLevels))
+	}
+	for fl, pols := range cells {
+		f, okF := pols["fcfs"]
+		e, okE := pols["easy-backfill"]
+		fs, okS := pols["fair-share"]
+		if !okF || !okE || !okS {
+			t.Fatalf("%s: missing a policy (have %d)", fl, len(pols))
+		}
+		if f.Jobs < 200 || f.Jobs != e.Jobs || f.Jobs != fs.Jobs {
+			t.Errorf("%s: stream mismatch or too small (%d/%d/%d jobs, want >= 200 and equal)",
+				fl, f.Jobs, e.Jobs, fs.Jobs)
+		}
+		// The headline: fair-share strictly fairest in delivered usage.
+		if fs.UsageJain <= f.UsageJain || fs.UsageJain <= e.UsageJain {
+			t.Errorf("%s: fair-share usage Jain %.4f not strictly above fcfs %.4f and easy %.4f",
+				fl, fs.UsageJain, f.UsageJain, e.UsageJain)
+		}
+		if fs.ShareErr >= f.ShareErr || fs.ShareErr >= e.ShareErr {
+			t.Errorf("%s: fair-share share error %.4f not strictly below fcfs %.4f and easy %.4f",
+				fl, fs.ShareErr, f.ShareErr, e.ShareErr)
+		}
+		// ...and it pays at most 5% of EASY's utilization for it.
+		if fs.Util < 0.95*e.Util {
+			t.Errorf("%s: fair-share utilization %.4f below 95%% of easy's %.4f", fl, fs.Util, e.Util)
+		}
+		for _, pt := range []FairPoint{f, e, fs} {
+			if pt.UsageJain <= 0 || pt.UsageJain > 1+1e-9 {
+				t.Errorf("%s %s: usage Jain %.4f outside (0, 1]", fl, pt.Policy, pt.UsageJain)
+			}
+			if len(pt.Tenants) < schedTenants {
+				t.Errorf("%s %s: %d tenant shares, want >= %d", fl, pt.Policy, len(pt.Tenants), schedTenants)
+			}
+			wantKills := fl != "none"
+			if gotKills := pt.FailureKills+pt.Preemptions > 0; fl == "none" && pt.FailureKills > 0 {
+				t.Errorf("%s %s: %d failure kills with failures disabled", fl, pt.Policy, pt.FailureKills)
+			} else if wantKills && !gotKills && pt.DownNH == 0 {
+				t.Errorf("%s %s: failure cell landed no kills, preemptions, or down time", fl, pt.Policy)
+			}
+		}
+		if fl != "none" && f.FailureKills+e.FailureKills+fs.FailureKills == 0 {
+			t.Errorf("%s: no policy absorbed a failure kill — the axis exercises nothing", fl)
+		}
+	}
+	text := renderFair(st)
+	if !strings.Contains(text, "usage Jain") || !strings.Contains(text, "fair-share") {
+		t.Fatalf("renderFair missing the comparison summary:\n%s", text)
+	}
+}

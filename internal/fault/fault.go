@@ -139,6 +139,22 @@ func (l *Ledger) Mark(now sim.Time, cum int64) {
 	l.cumPerNode = append(l.cumPerNode, cum)
 }
 
+// UniformLedger builds the ledger of an epoch-uniform checkpoint
+// schedule: epochs checkpoints buffered at start + k·perEpoch
+// (k = 1..epochs), each ending at cumBase+k cumulative units per node.
+// This is the nominal schedule the batch scheduler (internal/sched)
+// reconstructs for queued jobs — their epoch structure is priced, not
+// replayed event-by-event, so the kill-time→restartable-epoch mapping
+// uses the same Ledger the event-level injector fills, just with
+// uniformly spaced marks.
+func UniformLedger(epochs int, start, perEpoch sim.Duration, cumBase int64) *Ledger {
+	l := &Ledger{}
+	for k := 1; k <= epochs; k++ {
+		l.Mark(start+sim.Duration(k)*perEpoch, cumBase+int64(k))
+	}
+	return l
+}
+
 // Epochs reports how many epochs have been marked.
 func (l *Ledger) Epochs() int { return len(l.bufferedAt) }
 

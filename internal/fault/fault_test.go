@@ -87,6 +87,36 @@ func TestLedgerQueries(t *testing.T) {
 	}
 }
 
+func TestUniformLedger(t *testing.T) {
+	// 3 epochs, first checkpoint 0.5 h of overhead plus one 2 h epoch in,
+	// cumulative-bytes counter resuming from a prior segment's 4 epochs.
+	l := fault.UniformLedger(3, 0.5, 2.0, 4)
+	if l.Epochs() != 3 {
+		t.Fatalf("Epochs() = %d, want 3", l.Epochs())
+	}
+	for _, tc := range []struct {
+		t    sim.Time
+		want int
+	}{{0, 0}, {2.4, 0}, {2.5, 1}, {4.5, 2}, {6.5, 3}, {100, 3}} {
+		if got := l.BufferedEpochs(tc.t); got != tc.want {
+			t.Errorf("BufferedEpochs(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	// The cumulative counter continues from the base: each continuation
+	// epoch is durable once its (base+k)th unit is on the PFS.
+	for _, tc := range []struct {
+		drained int64
+		want    int
+	}{{4, 0}, {5, 1}, {6, 2}, {7, 3}} {
+		if got := l.DurableEpochs(tc.drained); got != tc.want {
+			t.Errorf("DurableEpochs(%d) = %d, want %d", tc.drained, got, tc.want)
+		}
+	}
+	if got := fault.UniformLedger(0, 1, 1, 0).Epochs(); got != 0 {
+		t.Fatalf("empty ledger has %d epochs", got)
+	}
+}
+
 // TestAssess checks the lost-work math at both survivability levels.
 func TestAssess(t *testing.T) {
 	l := &fault.Ledger{}

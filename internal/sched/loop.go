@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"picmcio/internal/cluster"
+	"picmcio/internal/xrand"
 )
 
 // This file is the DES event loop behind Run, in two structures that
@@ -82,6 +83,12 @@ type qent struct {
 	submitH float64
 	price   Price
 	dead    bool
+	// cont marks a continuation segment of a killed job: its price is
+	// the remainder's (set at requeue time in both loops — the naive
+	// loop's per-pass re-pricing would recover the full job's price,
+	// which is no longer what is queued).
+	cont  bool
+	track *jobTrack
 }
 
 // running is one admitted job's live state under stretched virtual
@@ -100,6 +107,8 @@ type running struct {
 	// entries snapshot it, and a snapshot whose epoch no longer matches is
 	// stale and discarded on pop (lazy invalidation).
 	epoch uint64
+
+	track *jobTrack // cross-segment bookkeeping (kills, recovered epochs)
 }
 
 // endOf is the predicted completion under the current stretch.
@@ -145,6 +154,20 @@ type engine struct {
 	// view queue indices back to e.queue slots across tombstones.
 	view      QueueView
 	viewSlots []int
+
+	// Realism-layer state (realism.go): the per-tenant usage ledger and
+	// its fairness integrals, the failure schedule, and the repair list.
+	tenants     []*tenantState
+	tenantIx    map[string]*tenantState
+	usageView   map[string]float64
+	jainInt     float64
+	shareErrInt float64
+	contendH    float64
+	fails       []float64
+	nextFail    int
+	failRng     *xrand.RNG
+	repairs     []repair
+	downNodes   int
 }
 
 // sample records the busy-node step function at `now`. Consecutive
@@ -227,19 +250,32 @@ func (e *engine) nextEnd() float64 {
 // restretch: when this batch of starts leaves `over` unchanged the
 // restretch is skipped, so the value must already be what the rewrite
 // would produce.
-func (e *engine) admit(j *Job, submitH float64, p Price, backfilled bool) error {
+func (e *engine) admit(j *Job, p Price, tr *jobTrack, backfilled bool) error {
 	alloc, err := e.sys.Allocate(j.Nodes)
 	if err != nil {
 		return fmt.Errorf("sched: policy %s overcommitted: %w", e.pol.Name(), err)
 	}
 	e.res.LeaseOps++
-	jr := &JobResult{
-		Job:          *j,
-		StartHours:   e.now,
-		WaitHours:    e.now - submitH,
-		ServiceHours: p.ServiceHours,
-		Backfilled:   backfilled,
+	if tr.res.Segments == 0 {
+		// First admission anchors the cross-segment bookkeeping on the
+		// ground-truth price; a never-killed job's single segment is the
+		// whole job, so this path reproduces the historical result fields
+		// byte for byte.
+		tr.base = p
+		tr.epochs = epochsOf(j)
+		tr.perEpochH = p.ServiceHours / float64(tr.epochs)
+		tr.segSvcH = p.ServiceHours
 	}
+	if tr.segLed == nil {
+		tr.buildLedger()
+	}
+	tr.res.Segments++
+	tr.waitH += e.now - tr.lastEnqueue
+	jr := tr.res
+	jr.StartHours = e.now
+	jr.WaitHours = tr.waitH
+	jr.ServiceHours = tr.base.ServiceHours
+	jr.Backfilled = backfilled
 	if backfilled {
 		e.res.Backfills++
 	}
@@ -250,10 +286,12 @@ func (e *engine) admit(j *Job, submitH float64, p Price, backfilled bool) error 
 		slowdown: 1 + p.IOFrac*(e.lastOver-1),
 		drainBps: p.DrainBps,
 		ioFrac:   p.IOFrac,
+		track:    tr,
 	}
 	e.run = append(e.run, rj)
 	e.demand += p.DrainBps
 	e.busy += j.Nodes
+	e.tenant(j.Tenant).rate += float64(j.Nodes)
 	if !e.naive {
 		e.heap.push(rj)
 	}
@@ -267,14 +305,17 @@ func (e *engine) admit(j *Job, submitH float64, p Price, backfilled bool) error 
 // instant. Retirement runs in start order (the running list's), which
 // pins the allocator's Free sequence.
 func (e *engine) completeAt(tEnd float64) error {
-	e.now = tEnd
+	e.advance(tEnd)
 	kept := e.run[:0]
 	for _, rj := range e.run {
 		if rj.endOf() <= tEnd+1e-9 {
 			rj.res.EndHours = tEnd
 			actual := tEnd - rj.res.StartHours
-			if rj.res.ServiceHours > 0 {
-				rj.res.StretchX = actual / rj.res.ServiceHours
+			// Stretch is measured against the final segment's nominal
+			// service (== ServiceHours for a never-killed job), so it keeps
+			// reading "contention slowdown of what actually ran last".
+			if sv := rj.track.segSvcH; sv > 0 {
+				rj.res.StretchX = actual / sv
 			}
 			e.res.Jobs = append(e.res.Jobs, *rj.res)
 			if err := e.sys.Free(rj.alloc); err != nil {
@@ -283,6 +324,9 @@ func (e *engine) completeAt(tEnd float64) error {
 			e.res.LeaseOps++
 			e.busy -= rj.job.Nodes
 			e.demand -= rj.drainBps
+			ts := e.tenant(rj.job.Tenant)
+			ts.rate -= float64(rj.job.Nodes)
+			ts.active--
 			rj.epoch++ // strand any completion-heap snapshot
 		} else {
 			kept = append(kept, rj)
@@ -297,7 +341,8 @@ func (e *engine) completeAt(tEnd float64) error {
 // enqueue admits an arrival to the wait queue. The indexed loop prices
 // the shape here — once per job instead of once per decision point.
 func (e *engine) enqueue(j *Job) error {
-	ent := &qent{job: j, submitH: e.now}
+	tr := &jobTrack{res: &JobResult{Job: *j}, lastEnqueue: e.now}
+	ent := &qent{job: j, submitH: e.now, track: tr}
 	if e.naive {
 		e.qued[j.ID] = e.now
 	} else {
@@ -309,25 +354,51 @@ func (e *engine) enqueue(j *Job) error {
 	}
 	e.queue = append(e.queue, ent)
 	e.live++
+	e.tenant(j.Tenant).active++
 	return nil
 }
 
-// loop is the shared event skeleton: completions at the same instant as
-// an arrival free nodes first, as a real scheduler's event loop would,
-// and every event is followed by a scheduling pass.
+// loop is the shared event skeleton over four event kinds — arrivals,
+// completions, node failures, repairs — plus the preemption deadline.
+// Ties resolve in a fixed priority: completions free nodes first (as a
+// real scheduler's event loop would), then repairs restore capacity,
+// then failures land, then arrivals, then the preemption wake-up. Every
+// event is followed by a scheduling pass and preemption rounds. The
+// loop also runs while only requeued continuations remain (killed jobs
+// can outlive the arrival stream and the running set).
 func (e *engine) loop() error {
 	e.sample()
-	for e.next < len(e.arrivals) || len(e.run) > 0 {
+	for e.next < len(e.arrivals) || len(e.run) > 0 || e.live > 0 {
 		tArr := math.Inf(1)
 		if e.next < len(e.arrivals) {
 			tArr = e.arrivals[e.next].SubmitHours
 		}
-		if tEnd := e.nextEnd(); tEnd <= tArr {
+		tEnd := e.nextEnd()
+		tRep := math.Inf(1)
+		if len(e.repairs) > 0 {
+			tRep = e.repairs[0].at
+		}
+		tFail := math.Inf(1)
+		if e.nextFail < len(e.fails) {
+			tFail = e.fails[e.nextFail]
+		}
+		tPre := e.preemptDeadline()
+		switch {
+		case tEnd <= tArr && tEnd <= tRep && tEnd <= tFail && tEnd <= tPre && !math.IsInf(tEnd, 1):
 			if err := e.completeAt(tEnd); err != nil {
 				return err
 			}
-		} else {
-			e.now = tArr
+		case tRep <= tArr && tRep <= tFail && tRep <= tPre && !math.IsInf(tRep, 1):
+			if err := e.repairAt(tRep); err != nil {
+				return err
+			}
+		case tFail <= tArr && tFail <= tPre && !math.IsInf(tFail, 1):
+			e.nextFail++
+			if err := e.failAt(tFail); err != nil {
+				return err
+			}
+		case tArr <= tPre && !math.IsInf(tArr, 1):
+			e.advance(tArr)
 			// Admit every arrival at this instant before scheduling.
 			for e.next < len(e.arrivals) && e.arrivals[e.next].SubmitHours == e.now {
 				if err := e.enqueue(e.arrivals[e.next]); err != nil {
@@ -335,12 +406,19 @@ func (e *engine) loop() error {
 				}
 				e.next++
 			}
+		case !math.IsInf(tPre, 1):
+			e.advance(tPre)
+		default:
+			// Live queue entries but no event can ever fire again: a
+			// policy refused a job that fits an empty partition.
+			return fmt.Errorf("sched: policy %s deadlocked with %d queued job(s) at t=%v", e.pol.Name(), e.live, e.now)
 		}
-		if err := e.schedule(); err != nil {
+		if err := e.scheduleAndPreempt(); err != nil {
 			return err
 		}
 	}
 	e.res.Makespan = e.now
+	e.finishFairness()
 	// Jobs complete in event order; report them in submission order so
 	// the result is keyed the way the trace was.
 	sort.SliceStable(e.res.Jobs, func(a, b int) bool { return e.res.Jobs[a].ID < e.res.Jobs[b].ID })
@@ -359,11 +437,15 @@ func (e *engine) schedule() error {
 // jobs spliced out of the queue.
 func (e *engine) scheduleNaive() error {
 	for {
-		v := QueueView{NowHours: e.now, Free: e.sys.FreeNodes()}
+		v := QueueView{NowHours: e.now, Free: e.sys.FreeNodes(), Usage: e.usageSnapshot()}
 		for _, ent := range e.queue {
-			p, err := e.pr.Price(ent.job.Spec)
-			if err != nil {
-				return err
+			p := ent.price
+			if !ent.cont {
+				var err error
+				p, err = e.pr.Price(ent.job.Spec)
+				if err != nil {
+					return err
+				}
 			}
 			v.Queue = append(v.Queue, Pending{Job: ent.job, WaitHours: e.now - e.qued[ent.job.ID], ServiceHours: p.EstimateHours})
 		}
@@ -382,11 +464,15 @@ func (e *engine) scheduleNaive() error {
 				return fmt.Errorf("sched: policy %s picked queue index %d of %d", e.pol.Name(), d.QueueIndex, len(e.queue))
 			}
 			ent := e.queue[d.QueueIndex]
-			p, err := e.pr.Price(ent.job.Spec)
-			if err != nil {
-				return err
+			p := ent.price
+			if !ent.cont {
+				var err error
+				p, err = e.pr.Price(ent.job.Spec)
+				if err != nil {
+					return err
+				}
 			}
-			if err := e.admit(ent.job, e.qued[ent.job.ID], p, d.Backfilled); err != nil {
+			if err := e.admit(ent.job, p, ent.track, d.Backfilled); err != nil {
 				return err
 			}
 			// Started jobs no longer wait: drop the submit-time entry so a
@@ -421,6 +507,7 @@ func (e *engine) scheduleIndexed() error {
 		}
 		e.view.NowHours = e.now
 		e.view.Free = free
+		e.view.Usage = e.usageSnapshot()
 		e.view.Queue = e.view.Queue[:0]
 		e.viewSlots = e.viewSlots[:0]
 		for si, ent := range e.queue {
@@ -449,7 +536,7 @@ func (e *engine) scheduleIndexed() error {
 			if ent.dead {
 				return fmt.Errorf("sched: policy %s picked queue index %d twice", e.pol.Name(), d.QueueIndex)
 			}
-			if err := e.admit(ent.job, ent.submitH, ent.price, d.Backfilled); err != nil {
+			if err := e.admit(ent.job, ent.price, ent.track, d.Backfilled); err != nil {
 				return err
 			}
 			ent.dead = true

@@ -89,7 +89,15 @@ func (p EASY) Pick(v QueueView) []Decision {
 	sort.SliceStable(order, func(a, b int) bool {
 		return scores[order[a]] > scores[order[b]]
 	})
+	return pickOrdered(v, order)
+}
 
+// pickOrdered is the single-reservation backfill pass shared by every
+// priority-ordered policy (EASY, FairShare): start jobs in priority
+// order while they fit, give the first that does not the sole
+// reservation, and backfill behind it only with starts that cannot
+// delay the reserved instant.
+func pickOrdered(v QueueView, order []int) []Decision {
 	free := v.Free
 	var ds []Decision
 	reserved := -1 // order position of the blocked head, -1 while none
@@ -126,6 +134,53 @@ func (p EASY) Pick(v QueueView) []Decision {
 		free -= job.Nodes
 	}
 	return ds
+}
+
+// FairShare is usage-ordered scheduling with EASY-style backfill: the
+// queue is ordered by each job's tenant's decayed delivered usage
+// (QueueView.Usage) — least-served tenant first — with the aged EASY
+// score breaking ties within a tenant, then the single-reservation
+// backfill pass applies unchanged. Ordering compares raw usage rather
+// than normalized shares: the denominator would be a float sum over a
+// map, identical ordering either way, but only the raw comparison is
+// iteration-order-free.
+//
+// FairShare deliberately does not implement PrefixPolicy: like EASY it
+// starts jobs around a blocked head, so no decision point is provably
+// idle from the head alone.
+type FairShare struct {
+	// AgingHours is the within-tenant tiebreak aging (default 2, as EASY).
+	AgingHours float64
+}
+
+// Name implements Policy.
+func (p FairShare) Name() string { return "fair-share" }
+
+func (p FairShare) agingHours() float64 {
+	if p.AgingHours <= 0 {
+		return 2
+	}
+	return p.AgingHours
+}
+
+// Pick implements Policy.
+func (p FairShare) Pick(v QueueView) []Decision {
+	order := make([]int, len(v.Queue))
+	usage := make([]float64, len(v.Queue))
+	scores := make([]float64, len(v.Queue))
+	for i := range order {
+		order[i] = i
+		q := v.Queue[i]
+		usage[i] = v.Usage[q.Job.Tenant]
+		scores[i] = q.WaitHours/p.agingHours() - math.Log2(float64(q.Job.Nodes))
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if usage[order[a]] != usage[order[b]] {
+			return usage[order[a]] < usage[order[b]]
+		}
+		return scores[order[a]] > scores[order[b]]
+	})
+	return pickOrdered(v, order)
 }
 
 // reservation computes the blocked head's shadow time — the earliest
@@ -167,6 +222,8 @@ func Policies(name string) (Policy, error) {
 		return FCFS{}, nil
 	case "easy-backfill", "easy":
 		return EASY{}, nil
+	case "fair-share", "fair":
+		return FairShare{}, nil
 	}
 	return nil, fmt.Errorf("sched: unknown policy %q", name)
 }

@@ -1,0 +1,540 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"picmcio/internal/cluster"
+	"picmcio/internal/fault"
+	"picmcio/internal/sim"
+	"picmcio/internal/xrand"
+)
+
+// This file is the scheduler's realism layer on top of the loop.go event
+// skeleton: the per-tenant decayed-usage ledger the FairShare policy and
+// the preemptor read, checkpoint-and-requeue kills (preemption and node
+// failures share one path), and the repair-window bookkeeping that
+// shrinks the free-node count while a failed node is out. Everything
+// here is engine-shared code — the naive and indexed loops run the exact
+// same float operations in the same order, so the differential suite's
+// byte-identity contract extends over all of it.
+
+// PreemptConfig enables preemption via checkpoint-and-requeue.
+type PreemptConfig struct {
+	// MaxHeadWaitHours enables preemption when > 0: once the queue head
+	// has waited at least this long and still cannot start, the engine
+	// checkpoints and kills running jobs belonging to tenants whose
+	// decayed usage strictly exceeds the head's tenant's — most
+	// over-served tenant first, youngest job first within a tenant —
+	// until the head's node need is covered, requeueing each victim's
+	// remainder as a continuation job. If no victim set can cover the
+	// need, nothing is preempted (no thrashing for an unwinnable start).
+	MaxHeadWaitHours float64
+	// CheckpointHours is the service-time overhead added to every
+	// preempted continuation: the forced checkpoint plus relaunch cost.
+	// A preemption kill is clean — the victim restarts from its last
+	// buffered epoch (it checkpoints on the way out).
+	CheckpointHours float64
+}
+
+func (p PreemptConfig) enabled() bool { return p.MaxHeadWaitHours > 0 }
+
+// FaultConfig injects node failures into the queue: fault.Arrivals
+// drives kills of running jobs mid-service, the victim requeues from its
+// recovery epoch, and the failed node leaves the schedulable pool for a
+// repair window.
+type FaultConfig struct {
+	// MTBFNodeHours is the per-node mean time between failures on the
+	// campaign clock; 0 disables failures (unless ArrivalHours is set).
+	MTBFNodeHours float64
+	// RepairHours is how long a failed node stays out of the pool
+	// (default 12 when failures are enabled).
+	RepairHours float64
+	// RestartOverheadHours is the service-time overhead added to a
+	// failure-killed continuation (reboot, relaunch, state reload).
+	RestartOverheadHours float64
+	// Survival selects the NVMe-survivability model for the recovery
+	// position: SurviveNVMe restarts from the last buffered epoch,
+	// SurviveNone additionally loses the newest DrainLagEpochs buffered
+	// checkpoints (their write-back had not caught up when the node died).
+	Survival fault.Survivability
+	// DrainLagEpochs is the queue-level abstraction of the write-back
+	// tail under SurviveNone (see Survival). Default 1; -1 means no lag.
+	DrainLagEpochs int
+	// HorizonHours bounds the failure-arrival draw (0 = derived from the
+	// stream: 4× the last submission + 48 h, comfortably past any sane
+	// makespan).
+	HorizonHours float64
+	// ArrivalHours, when non-empty, replaces the Poisson draw with
+	// explicit failure instants (strictly increasing) — the hook the
+	// requeue edge-case tests aim kills with.
+	ArrivalHours []float64
+}
+
+func (f FaultConfig) enabled() bool { return f.MTBFNodeHours > 0 || len(f.ArrivalHours) > 0 }
+
+// failSeedSalt decorrelates the failure stream from every other
+// consumer of Config.Seed (pricing stochastics, synthesis).
+const failSeedSalt = 0x6661756c74 // "fault"
+
+// arrivalTimes is the failure schedule for one run: the explicit
+// override when set, otherwise a fault.Arrivals Poisson draw over the
+// configured or derived horizon.
+func (f FaultConfig) arrivalTimes(seed uint64, nodes int, lastSubmitH float64) []float64 {
+	if len(f.ArrivalHours) > 0 {
+		return f.ArrivalHours
+	}
+	span := f.HorizonHours
+	if span <= 0 {
+		span = 4*lastSubmitH + 48
+	}
+	return fault.Arrivals(xrand.New(xrand.SeedAt(seed^failSeedSalt, 0)), f.MTBFNodeHours, nodes, span)
+}
+
+func (f FaultConfig) validate() error {
+	if f.MTBFNodeHours < 0 || math.IsNaN(f.MTBFNodeHours) {
+		return fmt.Errorf("sched: negative failure MTBF %v", f.MTBFNodeHours)
+	}
+	if f.RepairHours < 0 {
+		return fmt.Errorf("sched: negative repair window %v", f.RepairHours)
+	}
+	if f.RestartOverheadHours < 0 {
+		return fmt.Errorf("sched: negative restart overhead %v", f.RestartOverheadHours)
+	}
+	for i := 1; i < len(f.ArrivalHours); i++ {
+		if f.ArrivalHours[i] <= f.ArrivalHours[i-1] {
+			return fmt.Errorf("sched: failure arrivals must be strictly increasing (index %d)", i)
+		}
+	}
+	return nil
+}
+
+// TenantShare is one tenant's fair-share outcome: the time-weighted mean
+// absolute deviation of its decayed-usage share from the equal share,
+// integrated while the tenant was active on a contended machine.
+type TenantShare struct {
+	Tenant string
+	// MeanAbsErr is ∫|share − 1/active| dt / ActiveHours; 0 is a tenant
+	// that always held exactly its fair share while competing.
+	MeanAbsErr float64
+	// ActiveHours is how long the tenant had work queued or running while
+	// at least one other tenant did too.
+	ActiveHours float64
+}
+
+// tenantState is one tenant's usage-ledger entry: decayed delivered
+// node-hours (the quantity fair-share equalizes), its current accrual
+// rate, and the fairness integrals. All tenants fold together at every
+// event-time advance — never in between — so the decay arithmetic is a
+// pure function of the event history and identical in both loops.
+type tenantState struct {
+	name    string
+	usage   float64 // decayed delivered node-hours, folded to engine.now
+	rate    float64 // nodes currently running for this tenant
+	active  int     // jobs queued or running
+	errInt  float64 // ∫|share − fair| dt while active and contended
+	activeH float64
+}
+
+// tenant returns (creating on first sight, in deterministic first-seen
+// order) the usage-ledger entry for a tenant name.
+func (e *engine) tenant(name string) *tenantState {
+	ts := e.tenantIx[name]
+	if ts == nil {
+		ts = &tenantState{name: name}
+		e.tenantIx[name] = ts
+		e.tenants = append(e.tenants, ts)
+	}
+	return ts
+}
+
+// advance moves the clock to t, integrating the fairness metrics over
+// [now, t) at start-of-interval usage and then folding every tenant's
+// decayed usage forward. An interval is contended when two or more
+// tenants are active; uncontended time is excluded from the fairness
+// integrals (there is nothing to share).
+func (e *engine) advance(t float64) {
+	dt := t - e.now
+	if dt <= 0 {
+		e.now = t
+		return
+	}
+	n, sum := 0, 0.0
+	for _, ts := range e.tenants {
+		if ts.active > 0 {
+			n++
+			sum += ts.usage
+		}
+	}
+	if n >= 2 {
+		fair := 1 / float64(n)
+		sumSq, errSum := 0.0, 0.0
+		for _, ts := range e.tenants {
+			if ts.active == 0 {
+				continue
+			}
+			share := fair // all-zero usage: nobody is over-served
+			if sum > 0 {
+				share = ts.usage / sum
+			}
+			sumSq += ts.usage * ts.usage
+			aerr := math.Abs(share - fair)
+			ts.errInt += aerr * dt
+			ts.activeH += dt
+			errSum += aerr
+		}
+		jain := 1.0
+		if sum > 0 {
+			jain = sum * sum / (float64(n) * sumSq)
+		}
+		e.jainInt += jain * dt
+		e.shareErrInt += errSum / float64(n) * dt
+		e.contendH += dt
+	}
+	// Constant-rate exponential decay over the interval, in closed form:
+	// dU/dt = rate − U·ln2/H  ⇒  U(t+dt) = U·2^(−dt/H) + rate·H/ln2·(1−2^(−dt/H)).
+	decay := math.Exp2(-dt / e.cfg.UsageHalfLifeHours)
+	gain := e.cfg.UsageHalfLifeHours / math.Ln2 * (1 - decay)
+	for _, ts := range e.tenants {
+		ts.usage = ts.usage*decay + ts.rate*gain
+	}
+	e.now = t
+}
+
+// usageSnapshot refreshes and returns the policy-visible usage map
+// (QueueView.Usage). The backing map is reused across decision points;
+// policies must treat it as read-only and must not sum over its
+// iteration order (raw per-tenant lookups are order-free).
+func (e *engine) usageSnapshot() map[string]float64 {
+	if e.usageView == nil {
+		e.usageView = make(map[string]float64, len(e.tenants))
+	}
+	for _, ts := range e.tenants {
+		e.usageView[ts.name] = ts.usage
+	}
+	return e.usageView
+}
+
+// finishFairness folds the fairness integrals into the Result once the
+// loop drains.
+func (e *engine) finishFairness() {
+	e.res.UsageJain = 1
+	if e.contendH > 0 {
+		e.res.UsageJain = e.jainInt / e.contendH
+		e.res.ShareErr = e.shareErrInt / e.contendH
+	}
+	for _, ts := range e.tenants {
+		tsh := TenantShare{Tenant: ts.name, ActiveHours: ts.activeH}
+		if ts.activeH > 0 {
+			tsh.MeanAbsErr = ts.errInt / ts.activeH
+		}
+		e.res.TenantShares = append(e.res.TenantShares, tsh)
+	}
+}
+
+// jobTrack is one job's cross-segment scheduling state: the ground-truth
+// price of the whole job, its checkpoint-epoch structure, how many
+// epochs survived previous kills, and the current segment's shape. A
+// never-killed job has exactly one segment whose service equals the
+// base price — the historical path, byte for byte.
+type jobTrack struct {
+	res  *JobResult
+	base Price // full-job ground-truth price
+
+	epochs    int     // checkpoint epochs in the full job
+	perEpochH float64 // base service hours per epoch
+
+	doneEpochs   int           // epochs recovered across all kills so far
+	segSvcH      float64       // current segment's nominal service hours
+	segOverheadH float64       // restart/checkpoint overhead inside segSvcH
+	segLed       *fault.Ledger // buffered-checkpoint marks, segment-relative
+
+	waitH       float64 // queue wait accumulated across segments
+	lastEnqueue float64
+}
+
+// epochsOf is a job's checkpoint granularity: its workload's epoch
+// count, or 1 for an epoch-less shape (kills lose everything).
+func epochsOf(j *Job) int {
+	if j.Spec.Workload != nil {
+		if ep := j.Spec.Workload.Shape().Epochs; ep > 0 {
+			return ep
+		}
+	}
+	return 1
+}
+
+// buildLedger reconstructs the segment's nominal checkpoint schedule —
+// the remaining epochs buffered at overhead + k·perEpoch — through the
+// same fault.Ledger the event-level injector uses, so kill-time →
+// restartable-epoch mapping is one shared mechanism.
+func (tr *jobTrack) buildLedger() {
+	rem := tr.epochs - tr.doneEpochs
+	tr.segLed = fault.UniformLedger(rem, sim.Time(tr.segOverheadH), sim.Duration(tr.perEpochH), int64(tr.doneEpochs))
+}
+
+// segmentPrice is the Price a continuation is queued under: remaining
+// nominal service (plus restart overhead), the base shape's drain
+// demand and I/O fraction, and the pricer's estimate padding.
+func (e *engine) segmentPrice(tr *jobTrack) Price {
+	p := tr.base
+	p.ServiceHours = tr.segSvcH
+	p.EstimateHours = tr.segSvcH * (1 + e.pr.EstimateError)
+	return p
+}
+
+// recoveredEpochs maps a kill at nominal segment progress doneH onto the
+// epochs the continuation keeps: the segment ledger's buffered count,
+// minus the SurviveNone drain lag on a crash (preemption checkpoints
+// cleanly and always restarts from buffered state).
+func (e *engine) recoveredEpochs(tr *jobTrack, doneH float64, byFailure bool) int {
+	buf := tr.segLed.BufferedEpochs(sim.Time(doneH))
+	if byFailure && e.cfg.Faults.Survival == fault.SurviveNone {
+		buf -= e.cfg.Faults.DrainLagEpochs
+		if buf < 0 {
+			buf = 0
+		}
+	}
+	return buf
+}
+
+// killRunning checkpoints-and-kills a running job at the current
+// instant and requeues its remainder as a continuation segment at the
+// queue tail. byFailure selects crash recovery semantics (drain lag,
+// restart overhead) over the clean preemption checkpoint.
+func (e *engine) killRunning(rj *running, byFailure bool) error {
+	rj.touch(e.now)
+	tr := rj.track
+	doneH := tr.segSvcH - rj.remH
+	if doneH < 0 {
+		doneH = 0
+	}
+	rec := e.recoveredEpochs(tr, doneH, byFailure)
+	tr.doneEpochs += rec
+	lostH := doneH - float64(rec)*tr.perEpochH
+	if lostH < 0 {
+		lostH = 0
+	}
+	lostNH := float64(rj.job.Nodes) * lostH
+	tr.res.LostNodeHours += lostNH
+	e.res.LostNodeHours += lostNH
+	if byFailure {
+		tr.res.FailureKills++
+		e.res.FailureKills++
+	} else {
+		tr.res.Preemptions++
+		e.res.Preemptions++
+	}
+	if err := e.sys.Free(rj.alloc); err != nil {
+		return err
+	}
+	e.res.LeaseOps++
+	e.busy -= rj.job.Nodes
+	e.demand -= rj.drainBps
+	rj.epoch++ // strand any completion-heap snapshot
+	kept := e.run[:0]
+	for _, r := range e.run {
+		if r != rj {
+			kept = append(kept, r)
+		}
+	}
+	e.run = kept
+	e.tenant(rj.job.Tenant).rate -= float64(rj.job.Nodes)
+
+	overhead := e.cfg.Preempt.CheckpointHours
+	if byFailure {
+		overhead = e.cfg.Faults.RestartOverheadHours
+	}
+	remEpochs := tr.epochs - tr.doneEpochs
+	if remEpochs < 0 {
+		remEpochs = 0
+	}
+	tr.segOverheadH = overhead
+	tr.segSvcH = overhead + float64(remEpochs)*tr.perEpochH
+	tr.segLed = nil // rebuilt on the next admission
+	tr.lastEnqueue = e.now
+	e.res.RequeuedNodeHours += float64(rj.job.Nodes) * tr.segSvcH
+	ent := &qent{job: rj.job, submitH: e.now, price: e.segmentPrice(tr), cont: true, track: tr}
+	if e.naive {
+		e.qued[rj.job.ID] = e.now
+	}
+	e.queue = append(e.queue, ent)
+	e.live++
+	e.restretch()
+	e.sample()
+	return nil
+}
+
+// preemptDeadline is the instant the queue head's wait crosses the
+// preemption threshold — an event the loop must wake for even when no
+// arrival or completion lands first. Once the deadline has passed it
+// returns +Inf: maybePreempt re-evaluates after every event anyway, and
+// a finite past deadline would spin the loop.
+func (e *engine) preemptDeadline() float64 {
+	if !e.cfg.Preempt.enabled() {
+		return math.Inf(1)
+	}
+	head := e.headEnt()
+	if head == nil {
+		return math.Inf(1)
+	}
+	if t := head.submitH + e.cfg.Preempt.MaxHeadWaitHours; t > e.now {
+		return t
+	}
+	return math.Inf(1)
+}
+
+// maybePreempt fires the preemptor once: if the queue head has waited
+// past the threshold and still cannot start, kill enough running jobs of
+// strictly-more-served tenants to cover its need. Jobs started at this
+// very instant are never victims — killing freshly admitted work would
+// let a blocked head and an eager backfiller trade the same nodes
+// forever within one event. Returns whether anything was preempted.
+func (e *engine) maybePreempt() (bool, error) {
+	if !e.cfg.Preempt.enabled() {
+		return false, nil
+	}
+	head := e.headEnt()
+	if head == nil {
+		return false, nil
+	}
+	if e.now < head.submitH+e.cfg.Preempt.MaxHeadWaitHours {
+		return false, nil
+	}
+	need := head.job.Nodes - e.sys.FreeNodes()
+	if need <= 0 {
+		return false, nil
+	}
+	headUsage := e.tenant(head.job.Tenant).usage
+	var cands []*running
+	for _, rj := range e.run {
+		if rj.res.StartHours == e.now {
+			continue
+		}
+		if e.tenant(rj.job.Tenant).usage > headUsage {
+			cands = append(cands, rj)
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ua, ub := e.tenant(cands[a].job.Tenant).usage, e.tenant(cands[b].job.Tenant).usage
+		if ua != ub {
+			return ua > ub
+		}
+		if cands[a].res.StartHours != cands[b].res.StartHours {
+			return cands[a].res.StartHours > cands[b].res.StartHours
+		}
+		return cands[a].job.ID > cands[b].job.ID
+	})
+	freed, take := 0, 0
+	for _, rj := range cands {
+		if freed >= need {
+			break
+		}
+		freed += rj.job.Nodes
+		take++
+	}
+	if freed < need {
+		return false, nil
+	}
+	for _, rj := range cands[:take] {
+		if err := e.killRunning(rj, false); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// scheduleAndPreempt is the per-event decision step: a scheduling pass,
+// then preemption rounds — each killing at least one previously started
+// job, so the alternation terminates — until the preemptor declines.
+func (e *engine) scheduleAndPreempt() error {
+	if err := e.schedule(); err != nil {
+		return err
+	}
+	for e.cfg.Preempt.enabled() {
+		did, err := e.maybePreempt()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+		if err := e.schedule(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repair is one failed node's repair window: when it ends and the lease
+// holding the node out of the schedulable pool.
+type repair struct {
+	at    float64
+	alloc *cluster.Allocation
+}
+
+// failAt processes one node-failure arrival: the failure lands uniformly
+// on the partition's nodes — a running job's node kills and requeues the
+// job, an already-down node changes nothing, an idle node just starts a
+// repair — and the failed node leaves the pool for the repair window.
+func (e *engine) failAt(t float64) error {
+	e.advance(t)
+	u := e.failRng.Float64() * float64(e.cfg.Nodes)
+	acc := 0.0
+	var victim *running
+	for _, rj := range e.run {
+		acc += float64(rj.job.Nodes)
+		if u < acc {
+			victim = rj
+			break
+		}
+	}
+	if victim == nil {
+		if u < acc+float64(e.downNodes) {
+			// Lands on a node already under repair: no new outage.
+			e.res.IdleFailures++
+			return nil
+		}
+		e.res.IdleFailures++
+	}
+	if victim != nil {
+		if err := e.killRunning(victim, true); err != nil {
+			return err
+		}
+	}
+	return e.startRepair()
+}
+
+// startRepair takes the failed node out of the schedulable pool by
+// holding a 1-node lease until the repair window ends. The lease is
+// always satisfiable: a busy victim's nodes were just freed, and an
+// idle-node hit implies a free node exists.
+func (e *engine) startRepair() error {
+	if e.cfg.Faults.RepairHours <= 0 {
+		return nil
+	}
+	alloc, err := e.sys.Allocate(1)
+	if err != nil {
+		return fmt.Errorf("sched: repair lease: %w", err)
+	}
+	e.res.LeaseOps++
+	e.downNodes++
+	e.res.DownNodeHours += e.cfg.Faults.RepairHours
+	e.repairs = append(e.repairs, repair{at: e.now + e.cfg.Faults.RepairHours, alloc: alloc})
+	return nil
+}
+
+// repairAt returns the oldest down node to the pool (RepairHours is
+// constant, so the repair list is FIFO in end time).
+func (e *engine) repairAt(t float64) error {
+	e.advance(t)
+	r := e.repairs[0]
+	e.repairs = e.repairs[1:]
+	if err := e.sys.Free(r.alloc); err != nil {
+		return err
+	}
+	e.res.LeaseOps++
+	e.downNodes--
+	return nil
+}

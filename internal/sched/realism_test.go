@@ -1,0 +1,324 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"picmcio/internal/cluster"
+	"picmcio/internal/fault"
+	"picmcio/internal/xrand"
+)
+
+// realismHarness prices one size class on a machine and returns the
+// pieces the deterministic kill tests aim with: the stream-ready spec,
+// the full-job service hours, and the per-epoch checkpoint spacing.
+func realismHarness(t *testing.T, m cluster.Machine, class SizeClass, nodes int) (pr *Pricer, svcH, perEpochH float64) {
+	t.Helper()
+	pr = NewPricer(m, 7, 6)
+	spec := class.Spec(m)
+	spec.Nodes = nodes
+	p, err := pr.Price(spec)
+	if err != nil {
+		t.Fatalf("price: %v", err)
+	}
+	epochs := class.Workload.Shape().Epochs
+	if epochs <= 0 {
+		t.Fatalf("harness class has no epochs")
+	}
+	return pr, p.ServiceHours, p.ServiceHours / float64(epochs)
+}
+
+func classJob(id int, tenant string, m cluster.Machine, class SizeClass, nodes int, submitH float64) Job {
+	spec := class.Spec(m)
+	spec.Nodes = nodes
+	return Job{ID: id, Tenant: tenant, Class: class.Name, Nodes: nodes, SubmitHours: submitH, Spec: spec}
+}
+
+func near(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+// TestFailureDuringFinalEpoch kills a lone job inside its final epoch:
+// with NVMe-surviving staged state the continuation keeps both completed
+// epochs, redoes only the final one (plus the restart overhead), and
+// cannot restart until the failed node's repair window ends — the
+// partition is exactly the job's width.
+func TestFailureDuringFinalEpoch(t *testing.T) {
+	m := cluster.Dardel()
+	class := DefaultClasses()[0] // narrow: 2 nodes, 3 epochs
+	pr, svcH, peH := realismHarness(t, m, class, 2)
+	tKill := 2.5 * peH
+	const repairH, overheadH = 5.0, 0.5
+	cfg := Config{
+		Machine: m, Nodes: 2, Seed: 7, Pricer: pr,
+		Faults: FaultConfig{
+			ArrivalHours:         []float64{tKill},
+			RepairHours:          repairH,
+			RestartOverheadHours: overheadH,
+			Survival:             fault.SurviveNVMe,
+		},
+	}
+	res, err := Run(cfg, FCFS{}, []Job{classJob(1, "a", m, class, 2, 0)})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	j := res.Jobs[0]
+	if j.FailureKills != 1 || j.Segments != 2 || j.Preemptions != 0 {
+		t.Fatalf("job absorbed %d failure kills in %d segments (%d preemptions), want 1 kill, 2 segments",
+			j.FailureKills, j.Segments, j.Preemptions)
+	}
+	tol := 1e-6 * svcH
+	// The kill lands half an epoch past the second checkpoint: 2 nodes ×
+	// 0.5 epoch of service is redone.
+	if wantLost := 2 * 0.5 * peH; !near(j.LostNodeHours, wantLost, tol) {
+		t.Fatalf("lost %.6f node-hours, want %.6f (per-epoch %.4f)", j.LostNodeHours, wantLost, peH)
+	}
+	// Restart waits out the 2-wide partition's 1-node repair, then runs
+	// overhead + the one lost epoch.
+	if wantEnd := tKill + repairH + overheadH + peH; !near(j.EndHours, wantEnd, tol) {
+		t.Fatalf("job ended at %.6f, want %.6f", j.EndHours, wantEnd)
+	}
+	if res.FailureKills != 1 || res.DownNodeHours != repairH {
+		t.Fatalf("result counted %d kills, %.2f down node-hours, want 1, %.2f",
+			res.FailureKills, res.DownNodeHours, repairH)
+	}
+	if res.RequeuedNodeHours <= 0 || res.LostNodeHours != j.LostNodeHours {
+		t.Fatalf("requeued %.4f / lost %.4f node-hours inconsistent with the job's %.4f",
+			res.RequeuedNodeHours, res.LostNodeHours, j.LostNodeHours)
+	}
+}
+
+// TestPreemptZeroDrainedEpochs preempts a job before its first
+// checkpoint: the continuation restarts from scratch (full service plus
+// the checkpoint overhead) and every executed hour counts as lost.
+func TestPreemptZeroDrainedEpochs(t *testing.T) {
+	m := cluster.Dardel()
+	class := DefaultClasses()[1] // medium: 4 nodes, 3 epochs
+	pr, svcH, peH := realismHarness(t, m, class, 4)
+	const tB, waitW, ckptH = 0.5, 1.0, 0.25
+	if tB+waitW >= peH {
+		t.Fatalf("trigger %.2f not inside the first epoch (%.2f)", tB+waitW, peH)
+	}
+	cfg := Config{
+		Machine: m, Nodes: 4, Seed: 7, Pricer: pr,
+		Preempt: PreemptConfig{MaxHeadWaitHours: waitW, CheckpointHours: ckptH},
+	}
+	stream := []Job{
+		classJob(1, "hog", m, class, 4, 0),
+		classJob(2, "newbie", m, class, 4, tB),
+	}
+	res, err := Run(cfg, FCFS{}, stream)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	hog, newbie := res.Jobs[0], res.Jobs[1]
+	if hog.Preemptions != 1 || hog.Segments != 2 {
+		t.Fatalf("hog absorbed %d preemptions in %d segments, want 1 in 2", hog.Preemptions, hog.Segments)
+	}
+	tol := 1e-6 * svcH
+	// The preemption wake-up fires exactly when the head's wait crosses
+	// the threshold, and the hog had banked no checkpoint.
+	if wantStart := tB + waitW; !near(newbie.StartHours, wantStart, tol) {
+		t.Fatalf("preempting job started at %.6f, want %.6f", newbie.StartHours, wantStart)
+	}
+	if wantLost := 4 * (tB + waitW); !near(hog.LostNodeHours, wantLost, tol) {
+		t.Fatalf("hog lost %.6f node-hours, want %.6f (restart from scratch)", hog.LostNodeHours, wantLost)
+	}
+	// Continuation = checkpoint overhead + the full three epochs again,
+	// starting after the preemptor's beneficiary finishes.
+	if wantEnd := newbie.EndHours + ckptH + svcH; !near(hog.EndHours, wantEnd, tol) {
+		t.Fatalf("hog ended at %.6f, want %.6f", hog.EndHours, wantEnd)
+	}
+	if res.Preemptions != 1 || res.FailureKills != 0 {
+		t.Fatalf("result counted %d preemptions, %d failure kills, want 1, 0", res.Preemptions, res.FailureKills)
+	}
+}
+
+// TestBackToBackKillsOfContinuation kills the same job twice — the
+// second failure lands just after the continuation restarts, before any
+// new checkpoint — so the job runs three segments and never banks an
+// epoch until the third try.
+func TestBackToBackKillsOfContinuation(t *testing.T) {
+	m := cluster.Dardel()
+	class := DefaultClasses()[0]
+	pr, svcH, peH := realismHarness(t, m, class, 2)
+	const repairH = 0.001
+	t1 := 0.5 * peH
+	t2 := t1 + repairH + 0.01 // shortly after the restart at t1+repairH
+	cfg := Config{
+		Machine: m, Nodes: 2, Seed: 7, Pricer: pr,
+		Faults: FaultConfig{
+			ArrivalHours: []float64{t1, t2},
+			RepairHours:  repairH,
+			Survival:     fault.SurviveNVMe,
+		},
+	}
+	res, err := Run(cfg, FCFS{}, []Job{classJob(1, "a", m, class, 2, 0)})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	j := res.Jobs[0]
+	if j.FailureKills != 2 || j.Segments != 3 {
+		t.Fatalf("job absorbed %d kills in %d segments, want 2 in 3", j.FailureKills, j.Segments)
+	}
+	tol := 1e-6 * svcH
+	// Neither segment reached a checkpoint: the final segment is the
+	// whole job again, started at the second repair's end.
+	if wantEnd := t2 + repairH + svcH; !near(j.EndHours, wantEnd, tol) {
+		t.Fatalf("job ended at %.6f, want %.6f", j.EndHours, wantEnd)
+	}
+	if wantLost := 2 * (t1 + (t2 - (t1 + repairH))); !near(j.LostNodeHours, wantLost, tol) {
+		t.Fatalf("lost %.6f node-hours, want %.6f", j.LostNodeHours, wantLost)
+	}
+}
+
+// TestIdleFailureShrinksPool lands a failure on an empty partition: no
+// job dies, but the node is out for the repair window and a
+// full-partition job submitted meanwhile cannot start until it returns.
+func TestIdleFailureShrinksPool(t *testing.T) {
+	m := cluster.Dardel()
+	class := DefaultClasses()[1]
+	pr, svcH, _ := realismHarness(t, m, class, 4)
+	const tFail, repairH, tSubmit = 1.0, 3.0, 2.0
+	cfg := Config{
+		Machine: m, Nodes: 4, Seed: 7, Pricer: pr,
+		Faults: FaultConfig{ArrivalHours: []float64{tFail}, RepairHours: repairH},
+	}
+	res, err := Run(cfg, FCFS{}, []Job{classJob(1, "a", m, class, 4, tSubmit)})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.IdleFailures != 1 || res.FailureKills != 0 {
+		t.Fatalf("counted %d idle failures, %d kills, want 1, 0", res.IdleFailures, res.FailureKills)
+	}
+	j := res.Jobs[0]
+	tol := 1e-6 * svcH
+	if wantStart := tFail + repairH; !near(j.StartHours, wantStart, tol) {
+		t.Fatalf("job started at %.6f, want %.6f (after the repair window)", j.StartHours, wantStart)
+	}
+	if j.Segments != 1 || j.FailureKills != 0 {
+		t.Fatalf("job ran %d segments with %d kills, want a clean single segment", j.Segments, j.FailureKills)
+	}
+}
+
+// TestFairSharePickOrdersByUsage drives the policy directly: with equal
+// waits, the job of the least-served tenant starts first regardless of
+// queue position.
+func TestFairSharePickOrdersByUsage(t *testing.T) {
+	v := view(4, []Pending{pend(1, 4, 1, 5), pend(2, 4, 1, 5)}, nil)
+	v.Queue[0].Job.Tenant = "hog"
+	v.Queue[1].Job.Tenant = "light"
+	v.Usage = map[string]float64{"hog": 100, "light": 1}
+	ds := FairShare{}.Pick(v)
+	if len(ds) != 1 || v.Queue[ds[0].QueueIndex].Job.Tenant != "light" {
+		t.Fatalf("FairShare picked %+v, want only the light tenant's job", ds)
+	}
+	if _, err := Policies("fair-share"); err != nil {
+		t.Fatalf("Policies(fair-share): %v", err)
+	}
+	if _, err := Policies("fair"); err != nil {
+		t.Fatalf("Policies(fair): %v", err)
+	}
+}
+
+// TestNaiveIndexedEquivalenceRealism extends the differential proof to
+// the realism layer: randomized skewed Synth streams with fair-share,
+// preemption, and in-queue node failures all enabled replay through
+// both loops, and the full Result — kill counters, usage-fairness
+// integrals, repair bookkeeping included — must stay byte-identical.
+func TestNaiveIndexedEquivalenceRealism(t *testing.T) {
+	m := cluster.Dardel()
+	cases := []struct {
+		tenants, users int
+		load           float64
+		weights        []float64
+		survival       fault.Survivability
+		mtbf           float64
+	}{
+		{tenants: 4, users: 2, load: 1.2, weights: []float64{6, 2, 1, 1}, survival: fault.SurviveNVMe, mtbf: 400},
+		{tenants: 3, users: 2, load: 1.0, weights: []float64{4, 1, 1}, survival: fault.SurviveNone, mtbf: 250},
+	}
+	for ci, c := range cases {
+		pr := NewPricer(m, 7, 6)
+		pr.EstimateError = 0.3
+		s := Synth{Tenants: c.tenants, Users: c.users, Seed: xrand.SeedAt(23, uint64(ci)), TenantWeights: c.weights}
+		mean, err := SubmitMeanForLoad(pr, m, s, c.load, 64)
+		if err != nil {
+			t.Fatalf("case %d: calibrate: %v", ci, err)
+		}
+		s.SubmitMeanHours = mean
+		s.SpanHours = 150 * mean / float64(c.tenants*c.users)
+		stream, err := Synthesize(m, s)
+		if err != nil {
+			t.Fatalf("case %d: synthesize: %v", ci, err)
+		}
+		for _, pol := range []Policy{FCFS{}, EASY{}, FairShare{}} {
+			cfg := Config{
+				Machine: m, Nodes: 64, Seed: 7, Pricer: pr,
+				Preempt: PreemptConfig{MaxHeadWaitHours: 8, CheckpointHours: 0.5},
+				Faults: FaultConfig{
+					MTBFNodeHours:        c.mtbf,
+					RepairHours:          4,
+					RestartOverheadHours: 0.5,
+					Survival:             c.survival,
+				},
+			}
+			indexed, err := Run(cfg, pol, stream)
+			if err != nil {
+				t.Fatalf("case %d %s: indexed: %v", ci, pol.Name(), err)
+			}
+			restore := ForceNaiveLoopForTesting()
+			naive, err := Run(cfg, pol, stream)
+			restore()
+			if err != nil {
+				t.Fatalf("case %d %s: naive: %v", ci, pol.Name(), err)
+			}
+			if !reflect.DeepEqual(indexed, naive) {
+				t.Errorf("case %d %s: loops diverged with realism on (%d vs %d jobs, %d vs %d kills, usage jain %v vs %v)",
+					ci, pol.Name(), len(indexed.Jobs), len(naive.Jobs),
+					indexed.FailureKills, naive.FailureKills, indexed.UsageJain, naive.UsageJain)
+			}
+			if indexed.FailureKills == 0 && indexed.IdleFailures == 0 {
+				t.Errorf("case %d %s: no failures landed — the case exercises nothing", ci, pol.Name())
+			}
+		}
+	}
+}
+
+// TestRealismOffIsByteIdenticalToBaseline pins the refactor's
+// no-feature path: a Config without preemption or failures must produce
+// exactly the pre-realism result shape — one segment per job, no kill
+// counters, wait arithmetic unchanged (covered byte-for-byte by the
+// golden figsched test, spot-checked here).
+func TestRealismOffIsByteIdenticalToBaseline(t *testing.T) {
+	m := cluster.Dardel()
+	pr := NewPricer(m, 7, 6)
+	s := Synth{Tenants: 3, Users: 2, Seed: 5}
+	mean, err := SubmitMeanForLoad(pr, m, s, 1.0, 32)
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	s.SubmitMeanHours = mean
+	s.SpanHours = 60 * mean / 6
+	stream, err := Synthesize(m, s)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	res, err := Run(Config{Machine: m, Nodes: 32, Seed: 7, Pricer: pr}, EASY{}, stream)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, j := range res.Jobs {
+		if j.Segments != 1 || j.Preemptions != 0 || j.FailureKills != 0 || j.LostNodeHours != 0 {
+			t.Fatalf("clean run produced a multi-segment job: %+v", j)
+		}
+		if j.WaitHours != j.StartHours-j.SubmitHours {
+			t.Fatalf("job %d wait %v != start-submit %v", j.ID, j.WaitHours, j.StartHours-j.SubmitHours)
+		}
+	}
+	if res.Preemptions != 0 || res.FailureKills != 0 || res.DownNodeHours != 0 || res.LeaseOps != 2*len(stream) {
+		t.Fatalf("clean run's failure accounting is not zero: %+v", res)
+	}
+	if res.UsageJain <= 0 || res.UsageJain > 1 {
+		t.Fatalf("usage Jain %v outside (0, 1]", res.UsageJain)
+	}
+}

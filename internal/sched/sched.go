@@ -33,6 +33,7 @@ import (
 
 	"picmcio/internal/cluster"
 	"picmcio/internal/jobs"
+	"picmcio/internal/xrand"
 )
 
 // Job is one queued batch job: submission metadata plus the jobs.Spec
@@ -48,18 +49,32 @@ type Job struct {
 	Spec jobs.Spec
 }
 
-// JobResult is one job's scheduling outcome.
+// JobResult is one job's scheduling outcome. A job killed mid-service
+// (preemption or node failure) requeues as a continuation and may run in
+// several segments: StartHours is then the final segment's start,
+// WaitHours the queue time accumulated across all segments, and the
+// kill damage shows up in the kill counters and LostNodeHours.
 type JobResult struct {
 	Job
-	StartHours   float64
+	StartHours   float64 // start of the job's final segment
 	EndHours     float64
-	WaitHours    float64 // StartHours - SubmitHours
-	ServiceHours float64 // isolated (uncontended) service time
-	// StretchX is EndHours-StartHours over ServiceHours: > 1 means PFS
-	// contention from the co-running mix slowed the job down.
+	WaitHours    float64 // total queued time across segments
+	ServiceHours float64 // isolated (uncontended) full-job service time
+	// StretchX is the final segment's actual runtime over its nominal
+	// service: > 1 means PFS contention from the co-running mix slowed
+	// the job down.
 	StretchX float64
-	// Backfilled marks a job started ahead of a blocked queue head.
+	// Backfilled marks a (final) start ahead of a blocked queue head.
 	Backfilled bool
+	// Segments counts admissions: 1 for a job never killed.
+	Segments int
+	// Preemptions and FailureKills count the checkpoint-and-requeue
+	// kills this job absorbed.
+	Preemptions  int
+	FailureKills int
+	// LostNodeHours is nodes × (service executed past the last recovered
+	// checkpoint) summed over kills — the work the machine redoes.
+	LostNodeHours float64
 }
 
 // Slowdown is the job's bounded slowdown: (wait + actual runtime) over
@@ -99,6 +114,12 @@ type QueueView struct {
 	Free     int
 	Queue    []Pending
 	Running  []Active
+	// Usage is the per-tenant decayed delivered node-hours ledger (see
+	// Config.UsageHalfLifeHours) — the quantity FairShare orders by.
+	// Read-only; policies must not sum over its iteration order (raw
+	// per-tenant lookups and comparisons are order-free, a float sum over
+	// a Go map is not deterministic).
+	Usage map[string]float64
 }
 
 // Decision is one job a policy starts now.
@@ -146,6 +167,19 @@ type Config struct {
 	// the exact timeline is O(events) memory, and a downsampled one
 	// trades Utilization() precision for a bounded footprint.
 	TimelineEvery float64
+	// UsageHalfLifeHours is the decay half-life of the per-tenant usage
+	// ledger (delivered node-hours) the FairShare policy and the
+	// preemptor order tenants by. Default 168 — one week, the customary
+	// fair-share decay. The ledger is maintained for every run (it is
+	// cheap and feeds Result.UsageJain); only FairShare and preemption
+	// act on it.
+	UsageHalfLifeHours float64
+	// Preempt enables preemption via checkpoint-and-requeue (off by
+	// default; see PreemptConfig).
+	Preempt PreemptConfig
+	// Faults injects node failures into the queue (off by default; see
+	// FaultConfig).
+	Faults FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +191,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PFSBandwidth == 0 {
 		c.PFSBandwidth = PFSBandwidth(c.Machine)
+	}
+	if c.UsageHalfLifeHours <= 0 {
+		c.UsageHalfLifeHours = 168
+	}
+	if c.Faults.enabled() {
+		if c.Faults.RepairHours == 0 {
+			c.Faults.RepairHours = 12
+		}
+		switch {
+		case c.Faults.DrainLagEpochs == 0:
+			c.Faults.DrainLagEpochs = 1
+		case c.Faults.DrainLagEpochs < 0:
+			c.Faults.DrainLagEpochs = 0
+		}
 	}
 	return c
 }
@@ -192,6 +240,34 @@ type Result struct {
 	Makespan  float64      // hours until the last job completed
 	LeaseOps  int          // Allocate+Free calls issued against the system
 	Backfills int
+
+	// Preemption and failure accounting (zero when both are disabled).
+	Preemptions  int // checkpoint-and-requeue kills by the preemptor
+	FailureKills int // running jobs killed by node failures
+	IdleFailures int // failures that landed on idle or already-down nodes
+	// LostNodeHours is the redone work: node-hours executed past the
+	// last recovered checkpoint, summed over kills. RequeuedNodeHours is
+	// the continuation service put back on the queue (remaining epochs
+	// plus restart overheads, node-weighted). DownNodeHours is repair
+	// capacity taken out of the pool (repair windows × 1 node).
+	LostNodeHours     float64
+	RequeuedNodeHours float64
+	DownNodeHours     float64
+
+	// UsageJain is the time-weighted Jain fairness index over active
+	// tenants' decayed delivered usage during contended intervals (two or
+	// more tenants with work in the system); 1 when never contended.
+	// This is the quantity fair-share scheduling equalizes — unlike
+	// JainTenants' slowdown basis, which a strict FCFS queue maximizes by
+	// giving every tenant the same misery.
+	UsageJain float64
+	// ShareErr is the time-weighted mean |usage share − equal share|
+	// over active tenants during contended intervals; 0 is perfect
+	// fair-share delivery.
+	ShareErr float64
+	// TenantShares is the per-tenant share-error breakdown, in
+	// first-seen order.
+	TenantShares []TenantShare
 }
 
 // MeanWaitHours is the mean queue wait over all jobs.
@@ -362,11 +438,23 @@ func Run(cfg Config, pol Policy, stream []Job) (*Result, error) {
 		return arrivals[a].ID < arrivals[b].ID
 	})
 
+	if err := cfg.Faults.validate(); err != nil {
+		return nil, err
+	}
 	e := &engine{
 		cfg: cfg, pol: pol, pr: pr, sys: sys,
 		arrivals: arrivals,
 		res:      &Result{Policy: pol.Name(), Nodes: cfg.Nodes},
 		lastOver: 1,
+		tenantIx: map[string]*tenantState{},
+	}
+	if cfg.Faults.enabled() {
+		lastSubmit := 0.0
+		if n := len(arrivals); n > 0 {
+			lastSubmit = arrivals[n-1].SubmitHours
+		}
+		e.fails = cfg.Faults.arrivalTimes(cfg.Seed, cfg.Nodes, lastSubmit)
+		e.failRng = xrand.New(xrand.SeedAt(cfg.Seed^failSeedSalt, 1))
 	}
 	if forceNaiveLoop {
 		e.naive = true

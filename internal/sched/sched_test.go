@@ -72,7 +72,7 @@ func TestEASYAgingPrioritizesOldWideJobs(t *testing.T) {
 }
 
 func TestPoliciesResolver(t *testing.T) {
-	for _, name := range []string{"fcfs", "easy-backfill", "easy"} {
+	for _, name := range []string{"fcfs", "easy-backfill", "easy", "fair-share", "fair"} {
 		if _, err := Policies(name); err != nil {
 			t.Fatalf("Policies(%q): %v", name, err)
 		}

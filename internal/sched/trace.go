@@ -101,6 +101,14 @@ type Synth struct {
 	// independent SeedAt-derived stream, so adding a tenant never
 	// perturbs the others' submissions.
 	Seed uint64
+	// TenantWeights skews the per-tenant offered load: tenant t submits
+	// at TenantWeights[t] times the base rate (its users' mean submission
+	// gap is SubmitMeanHours/TenantWeights[t]). Entries must be > 0;
+	// tenants beyond the slice default to weight 1. Nil keeps the uniform
+	// historical stream byte-identical. SubmitMeanForLoad accounts for
+	// the weights, so a calibrated load factor means the same thing
+	// skewed or not.
+	TenantWeights []float64
 }
 
 func (s Synth) withDefaults() Synth {
@@ -139,10 +147,22 @@ func Synthesize(m cluster.Machine, s Synth) ([]Job, error) {
 	if total <= 0 {
 		return nil, fmt.Errorf("sched: class weights sum to zero")
 	}
+	if len(s.TenantWeights) > s.Tenants {
+		return nil, fmt.Errorf("sched: %d tenant weights for %d tenants", len(s.TenantWeights), s.Tenants)
+	}
+	for t, w := range s.TenantWeights {
+		if w <= 0 {
+			return nil, fmt.Errorf("sched: tenant %d weight %v must be > 0", t, w)
+		}
+	}
 	var js []Job
 	for t := 0; t < s.Tenants; t++ {
 		rng := xrand.New(xrand.SeedAt(s.Seed, uint64(t)))
-		times := fault.Arrivals(rng.Split(0), s.SubmitMeanHours, s.Users, s.SpanHours)
+		mean := s.SubmitMeanHours
+		if t < len(s.TenantWeights) {
+			mean = s.SubmitMeanHours / s.TenantWeights[t]
+		}
+		times := fault.Arrivals(rng.Split(0), mean, s.Users, s.SpanHours)
 		pick := rng.Split(1)
 		tenant := fmt.Sprintf("tenant%02d", t)
 		for _, at := range times {
@@ -202,8 +222,20 @@ func SubmitMeanForLoad(pr *Pricer, m cluster.Machine, s Synth, load float64, par
 	}
 	meanNodeServiceH := nsvc / wsum
 	// jobs/hour needed to offer load×partition node-hours per hour,
-	// spread over the total submitting-user population.
+	// spread over the total submitting-user population (weighted: a
+	// tenant at weight w submits like w tenants' worth of users).
 	rate := load * float64(partition) / meanNodeServiceH
+	if len(s.TenantWeights) > 0 {
+		wsumT := 0.0
+		for t := 0; t < s.Tenants; t++ {
+			w := 1.0
+			if t < len(s.TenantWeights) {
+				w = s.TenantWeights[t]
+			}
+			wsumT += w
+		}
+		return wsumT * float64(s.Users) / rate, nil
+	}
 	return float64(s.Tenants*s.Users) / rate, nil
 }
 
